@@ -1,0 +1,48 @@
+//! Ablations of HEP's design choices (beyond the paper's Figure 9):
+//!
+//! 1. **Informed vs. uninformed streaming** (§3.3): does seeding the HDRF
+//!    state with NE++'s secondary sets matter?
+//! 2. **λ sweep**: sensitivity of the streaming phase's balance weight.
+
+use hep_bench::{banner, load_dataset, run_partitioner};
+use hep_core::{Hep, HepConfig};
+use hep_metrics::Table;
+
+fn main() {
+    banner(
+        "Ablation: HEP design choices",
+        "tau = 1 (streaming phase dominant), k = 32, OK/TW/UK analogs.",
+    );
+    // 1. Informed vs uninformed streaming.
+    let mut t = Table::new(["graph", "RF informed", "RF uninformed", "penalty"]);
+    for name in ["OK", "TW", "UK"] {
+        let g = load_dataset(name);
+        let rf_of = |informed: bool| {
+            let mut config = HepConfig::with_tau(1.0);
+            config.informed_streaming = informed;
+            let mut hep = Hep { config };
+            run_partitioner(&mut hep, &g, 32, false).expect("HEP runs").rf
+        };
+        let (inf, uninf) = (rf_of(true), rf_of(false));
+        t.row([
+            name.to_string(),
+            format!("{inf:.2}"),
+            format!("{uninf:.2}"),
+            format!("{:.2}x", uninf / inf),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // 2. Lambda sweep on OK.
+    let g = load_dataset("OK");
+    let mut t = Table::new(["lambda", "RF", "alpha"]);
+    for lambda in [0.0, 0.5, 1.1, 2.0, 5.0] {
+        let mut config = HepConfig::with_tau(1.0);
+        config.lambda = lambda;
+        let mut hep = Hep { config };
+        let out = run_partitioner(&mut hep, &g, 32, false).expect("HEP runs");
+        t.row([format!("{lambda}"), format!("{:.2}", out.rf), format!("{:.3}", out.alpha)]);
+    }
+    println!("lambda sweep (OK, tau = 1):\n{}", t.render());
+    println!("(higher lambda trades replication for tighter balance)");
+}

@@ -1,0 +1,52 @@
+//! Figure 2: vertex degree vs. replication factor for HDRF and NE on the LJ
+//! and WI graphs at k = 32.
+//!
+//! The paper's motivating observation (§3.1): replication grows steeply with
+//! degree under *both* streaming (HDRF) and in-memory (NE) partitioning,
+//! while most vertices are low-degree — so compromising only on high-degree
+//! vertices is cheap.
+
+use hep_bench::{banner, load_dataset, run_partitioner};
+use hep_graph::{EdgeList, EdgePartitioner};
+use hep_metrics::{PartitionMetrics, Table};
+
+fn bucket_table(graph: &EdgeList, k: u32) -> Table {
+    let degrees = graph.degrees();
+    let rf_by_bucket = |p: &mut dyn EdgePartitioner| {
+        let mut metrics = PartitionMetrics::new(k, graph.num_vertices);
+        p.partition(graph, k, &mut metrics).expect("partitioning succeeds");
+        metrics.degree_bucket_rf(&degrees)
+    };
+    let hdrf = rf_by_bucket(&mut hep_baselines::Hdrf::default());
+    let ne = rf_by_bucket(&mut hep_baselines::Ne::default());
+    let covered = degrees.iter().filter(|&&d| d > 0).count() as f64;
+    let mut t = Table::new(["degree range", "frac. vertices", "RF (HDRF)", "RF (NE)"]);
+    let mut lo = 1u64;
+    for (b, ((h, n_vertices), (n, _))) in hdrf.iter().zip(ne.iter()).enumerate() {
+        let hi = 10u64.pow(b as u32 + 1);
+        t.row([
+            format!("{lo}..{hi}"),
+            format!("{:.3}", *n_vertices as f64 / covered),
+            format!("{h:.2}"),
+            format!("{n:.2}"),
+        ]);
+        lo = hi + 1;
+    }
+    t
+}
+
+fn main() {
+    banner(
+        "Figure 2: degree vs replication factor (k = 32)",
+        "Replication factor per degree bucket under HDRF (streaming) and NE (in-memory).",
+    );
+    for name in ["LJ", "WI"] {
+        let g = load_dataset(name);
+        println!("--- {name} graph ---");
+        println!("{}", bucket_table(&g, 32).render());
+        // Context line mirroring the paper's headline observation.
+        let mut ne = hep_baselines::Ne::default();
+        let out = run_partitioner(&mut ne, &g, 32, false).expect("NE runs");
+        println!("overall NE RF: {:.2}\n", out.rf);
+    }
+}

@@ -1,0 +1,67 @@
+//! Empirical scaling check supporting Table 1's complexity claims: HEP's
+//! run-time should grow near-linearly in |E| (the `O(|E|·(log|V| + k))`
+//! bound with its pessimistic heap constant rarely binding), while HDRF is
+//! exactly Θ(|E|·k).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hep_graph::partitioner::CountingSink;
+use hep_graph::EdgePartitioner;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_scaling_in_edges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_edges_k32");
+    for m in [25_000u64, 50_000, 100_000, 200_000] {
+        let g = hep_gen::GraphSpec::ChungLu { n: (m / 8) as u32, m, gamma: 2.2 }.generate(7);
+        group.bench_with_input(BenchmarkId::new("HEP-10", m), &g, |b, g| {
+            b.iter(|| {
+                let mut sink = CountingSink::default();
+                hep_core::Hep::with_tau(10.0).partition(g, 32, &mut sink).unwrap();
+                black_box(sink.counts.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("HDRF", m), &g, |b, g| {
+            b.iter(|| {
+                let mut sink = CountingSink::default();
+                hep_baselines::Hdrf::default().partition(g, 32, &mut sink).unwrap();
+                black_box(sink.counts.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_k(c: &mut Criterion) {
+    let g = hep_gen::GraphSpec::ChungLu { n: 12_000, m: 100_000, gamma: 2.2 }.generate(9);
+    let mut group = c.benchmark_group("scale_k_100k_edges");
+    for k in [4u32, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("HEP-10", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut sink = CountingSink::default();
+                hep_core::Hep::with_tau(10.0).partition(&g, k, &mut sink).unwrap();
+                black_box(sink.counts.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("HDRF", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut sink = CountingSink::default();
+                hep_baselines::Hdrf::default().partition(&g, k, &mut sink).unwrap();
+                black_box(sink.counts.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_scaling_in_edges, bench_scaling_in_k
+}
+criterion_main!(benches);

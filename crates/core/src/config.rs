@@ -1,0 +1,86 @@
+//! HEP configuration.
+
+/// Tunables of a HEP run. The paper's evaluated configurations are
+/// `tau ∈ {100, 10, 1}` with HDRF defaults for the streaming phase.
+#[derive(Clone, Debug)]
+pub struct HepConfig {
+    /// Degree threshold factor τ (§3.1): `v` is high-degree iff
+    /// `d(v) > τ · mean_degree`.
+    pub tau: f64,
+    /// Hard balance cap factor α of the streaming phase (§2, Algorithm 4).
+    pub alpha: f64,
+    /// HDRF balance weight λ (Appendix A: 1.1).
+    pub lambda: f64,
+    /// Record the NE++ column-array access trace (for the paging simulator
+    /// of §5.5). Off by default: it costs memory proportional to |E|.
+    pub record_trace: bool,
+    /// Seed the streaming phase with NE++'s partitioning state (§3.3).
+    /// Disabling this is an ablation: the h2h edges are then streamed with
+    /// plain HDRF state (empty replica sets, zero loads), re-creating the
+    /// "uninformed assignment problem" the hybrid design removes.
+    pub informed_streaming: bool,
+}
+
+impl Default for HepConfig {
+    fn default() -> Self {
+        HepConfig {
+            tau: 10.0,
+            alpha: 1.05,
+            lambda: 1.1,
+            record_trace: false,
+            informed_streaming: true,
+        }
+    }
+}
+
+impl HepConfig {
+    /// Paper-style config with a given τ and defaults elsewhere.
+    pub fn with_tau(tau: f64) -> Self {
+        HepConfig { tau, ..Default::default() }
+    }
+
+    /// Validates parameter domains.
+    pub fn validate(&self) -> Result<(), hep_graph::GraphError> {
+        if !(self.tau > 0.0) {
+            return Err(hep_graph::GraphError::InvalidConfig(format!(
+                "tau must be positive, got {}",
+                self.tau
+            )));
+        }
+        if !(self.alpha >= 1.0) {
+            return Err(hep_graph::GraphError::InvalidConfig(format!(
+                "alpha must be >= 1, got {}",
+                self.alpha
+            )));
+        }
+        if !(self.lambda >= 0.0) {
+            return Err(hep_graph::GraphError::InvalidConfig(format!(
+                "lambda must be >= 0, got {}",
+                self.lambda
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_defaults() {
+        let c = HepConfig::default();
+        assert_eq!(c.lambda, 1.1);
+        assert!(c.alpha >= 1.0);
+        assert!(!c.record_trace);
+    }
+
+    #[test]
+    fn validation_rejects_bad_domains() {
+        assert!(HepConfig { tau: 0.0, ..Default::default() }.validate().is_err());
+        assert!(HepConfig { tau: -1.0, ..Default::default() }.validate().is_err());
+        assert!(HepConfig { alpha: 0.9, ..Default::default() }.validate().is_err());
+        assert!(HepConfig { lambda: -0.1, ..Default::default() }.validate().is_err());
+        assert!(HepConfig::with_tau(1.0).validate().is_ok());
+    }
+}

@@ -1,0 +1,344 @@
+//! The HEP driver: graph building → NE++ → informed streaming.
+//!
+//! Following §3.2.1, edges between two high-degree vertices are written to
+//! an external file *while the CSR is built* and re-read as a stream in
+//! phase 2 — they never occupy memory, which is what lets τ trade quality
+//! for footprint.
+
+use crate::config::HepConfig;
+use crate::nepp::{run_nepp, NeppStats};
+use crate::streaming::stream_h2h;
+use hep_graph::partitioner::check_inputs;
+use hep_graph::{AssignSink, DegreeStats, EdgeList, EdgePartitioner, GraphError, PrunedCsr};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique-enough temp path for the externalized h2h edge file.
+fn h2h_temp_path() -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "hep_h2h_{}_{}.bin",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    p
+}
+
+/// Removes the h2h temp file even on early returns.
+struct TempFileGuard(std::path::PathBuf);
+
+impl Drop for TempFileGuard {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
+
+/// Hybrid Edge Partitioner (paper §3). `HEP-x` in the experiment tables
+/// denotes `tau = x`.
+#[derive(Clone, Debug, Default)]
+pub struct Hep {
+    /// Configuration (τ, α, λ, trace recording).
+    pub config: HepConfig,
+}
+
+/// Detailed report of a HEP run, beyond the plain edge assignment.
+pub struct HepRunReport {
+    /// NE++ statistics (clean-up fractions, core/secondary degrees, ...).
+    pub nepp: NeppStats,
+    /// Number of h2h (streamed) edges.
+    pub h2h_edges: u64,
+    /// Number of in-memory edges.
+    pub inmem_edges: u64,
+    /// The §4.2 memory-accounting estimate in bytes (b_id = 4).
+    pub footprint_paper_bytes: u64,
+    /// Actual heap bytes of the pruned CSR as built.
+    pub csr_heap_bytes: usize,
+    /// Mean degree of the input graph.
+    pub mean_degree: f64,
+    /// NE++ column-array access trace, when requested.
+    pub trace: Option<Vec<u64>>,
+    /// Edge count per partition after both phases.
+    pub partition_sizes: Vec<u64>,
+}
+
+impl Hep {
+    /// HEP with the paper's defaults and the given τ.
+    pub fn with_tau(tau: f64) -> Self {
+        Hep { config: HepConfig::with_tau(tau) }
+    }
+
+    /// Runs both phases and returns the detailed report.
+    pub fn partition_with_report(
+        &self,
+        graph: &EdgeList,
+        k: u32,
+        sink: &mut dyn AssignSink,
+    ) -> Result<HepRunReport, GraphError> {
+        check_inputs(graph, k)?;
+        self.config.validate()?;
+        // Phase 0: graph building (two passes over the edge list, §4.1),
+        // spilling h2h edges to the external edge file as they are found.
+        let stats = DegreeStats::new(graph, self.config.tau);
+        let h2h_path = h2h_temp_path();
+        let _guard = TempFileGuard(h2h_path.clone());
+        let mut writer = std::io::BufWriter::new(std::fs::File::create(&h2h_path)?);
+        let mut write_err: Option<std::io::Error> = None;
+        let csr = PrunedCsr::build_streaming_h2h(graph, stats, |e| {
+            let r = writer
+                .write_all(&e.src.to_le_bytes())
+                .and_then(|_| writer.write_all(&e.dst.to_le_bytes()));
+            if let Err(err) = r {
+                write_err.get_or_insert(err);
+            }
+        });
+        writer.flush()?;
+        drop(writer);
+        if let Some(err) = write_err {
+            return Err(err.into());
+        }
+        let degrees = csr.stats().degrees.clone();
+        let mean_degree = csr.stats().mean_degree;
+        let h2h_edges = csr.num_h2h_edges();
+        let inmem_edges = csr.num_inmem_edges();
+        let footprint_paper_bytes = csr.memory_footprint_paper(k);
+        let csr_heap_bytes = csr.heap_bytes();
+        // Phase 1: in-memory partitioning via NE++ (consumes the CSR).
+        let nepp = run_nepp(csr, k, &self.config, sink);
+        // Phase 2: informed stateful streaming over the h2h edge file.
+        let mut read_err: Option<GraphError> = None;
+        let reader = EdgeList::stream_binary(&h2h_path)?.map_while(|r| match r {
+            Ok(e) => Some(e),
+            Err(e) => {
+                read_err.get_or_insert(e);
+                None
+            }
+        });
+        // Ablation switch (§3.3): informed streaming starts from NE++'s
+        // secondary sets and loads; uninformed starts cold like plain HDRF.
+        let informed = self.config.informed_streaming;
+        let ne_sizes = nepp.sizes.clone();
+        let (seed_sets, seed_sizes) = if informed {
+            (nepp.s_sets, nepp.sizes)
+        } else {
+            let empty = (0..k)
+                .map(|_| hep_ds::DenseBitset::new(graph.num_vertices as usize))
+                .collect();
+            (empty, vec![0; k as usize])
+        };
+        let state = stream_h2h(
+            reader,
+            &degrees,
+            seed_sets,
+            seed_sizes,
+            graph.num_edges(),
+            self.config.lambda,
+            self.config.alpha,
+            sink,
+        );
+        if let Some(err) = read_err {
+            return Err(err);
+        }
+        let partition_sizes = (0..k)
+            .map(|p| {
+                state.load(p) + if informed { 0 } else { ne_sizes[p as usize] }
+            })
+            .collect();
+        Ok(HepRunReport {
+            nepp: nepp.stats,
+            h2h_edges,
+            inmem_edges,
+            footprint_paper_bytes,
+            csr_heap_bytes,
+            mean_degree,
+            trace: nepp.trace,
+            partition_sizes,
+        })
+    }
+}
+
+impl EdgePartitioner for Hep {
+    fn name(&self) -> String {
+        // Paper notation: HEP-100, HEP-10, HEP-1.
+        if self.config.tau == self.config.tau.trunc() {
+            format!("HEP-{}", self.config.tau as i64)
+        } else {
+            format!("HEP-{}", self.config.tau)
+        }
+    }
+
+    fn partition(
+        &mut self,
+        graph: &EdgeList,
+        k: u32,
+        sink: &mut dyn AssignSink,
+    ) -> Result<(), GraphError> {
+        Hep::partition_with_report(self, graph, k, sink).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hep_graph::partitioner::{CollectedAssignment, CountingSink};
+    use hep_graph::Edge;
+
+    fn run(graph: &EdgeList, k: u32, tau: f64) -> (CollectedAssignment, HepRunReport) {
+        let mut sink = CollectedAssignment::default();
+        let report = Hep::with_tau(tau).partition_with_report(graph, k, &mut sink).unwrap();
+        (sink, report)
+    }
+
+    fn assert_exactly_once(graph: &EdgeList, sink: &CollectedAssignment) {
+        assert_eq!(sink.assignments.len(), graph.edges.len());
+        let mut seen: Vec<Edge> = sink.assignments.iter().map(|(e, _)| e.canonical()).collect();
+        seen.sort_unstable();
+        let mut expect: Vec<Edge> = graph.edges.iter().map(|e| e.canonical()).collect();
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn names_follow_paper_notation() {
+        assert_eq!(Hep::with_tau(100.0).name(), "HEP-100");
+        assert_eq!(Hep::with_tau(10.0).name(), "HEP-10");
+        assert_eq!(Hep::with_tau(1.0).name(), "HEP-1");
+        assert_eq!(Hep::with_tau(1.5).name(), "HEP-1.5");
+    }
+
+    #[test]
+    fn covers_social_graph_at_all_taus() {
+        let g = hep_gen::GraphSpec::ChungLu { n: 1000, m: 10_000, gamma: 2.1 }.generate(1);
+        for tau in [100.0, 10.0, 1.0] {
+            let (sink, report) = run(&g, 8, tau);
+            assert_exactly_once(&g, &sink);
+            assert_eq!(report.inmem_edges + report.h2h_edges, g.num_edges());
+        }
+    }
+
+    #[test]
+    fn lower_tau_means_more_streaming_and_less_memory() {
+        let g = hep_gen::GraphSpec::ChungLu { n: 2000, m: 20_000, gamma: 2.0 }.generate(2);
+        let (_, r100) = run(&g, 8, 100.0);
+        let (_, r1) = run(&g, 8, 1.0);
+        assert!(r1.h2h_edges > r100.h2h_edges);
+        assert!(r1.footprint_paper_bytes < r100.footprint_paper_bytes);
+    }
+
+    #[test]
+    fn respects_streaming_balance_cap() {
+        let g = hep_gen::GraphSpec::ChungLu { n: 1000, m: 8000, gamma: 2.0 }.generate(3);
+        let k = 4;
+        let mut sink = CountingSink::default();
+        Hep::with_tau(1.0).partition(&g, k, &mut sink).unwrap();
+        let cap = ((1.05 * 8000.0) / k as f64).ceil() as u64;
+        assert!(sink.counts.iter().all(|&c| c <= cap), "{:?}", sink.counts);
+        assert_eq!(sink.counts.iter().sum::<u64>(), 8000);
+    }
+
+    #[test]
+    fn replication_factor_improves_with_tau() {
+        // Higher tau -> more edges handled by NE++ -> lower (or equal) RF.
+        let g = hep_gen::community::community_web(
+            hep_gen::community::CommunityParams::weblike(4000, 30_000),
+            4,
+        );
+        let rf = |tau: f64| {
+            let (sink, _) = run(&g, 16, tau);
+            let mut parts: Vec<std::collections::HashSet<u32>> =
+                vec![Default::default(); g.num_vertices as usize];
+            for (e, p) in &sink.assignments {
+                parts[e.src as usize].insert(*p);
+                parts[e.dst as usize].insert(*p);
+            }
+            let covered = parts.iter().filter(|s| !s.is_empty()).count();
+            parts.iter().map(|s| s.len()).sum::<usize>() as f64 / covered as f64
+        };
+        let (rf100, rf1) = (rf(100.0), rf(1.0));
+        assert!(
+            rf100 <= rf1 * 1.05,
+            "HEP-100 rf {rf100} should not exceed HEP-1 rf {rf1}"
+        );
+    }
+
+    #[test]
+    fn beats_plain_hdrf_on_community_graph() {
+        use hep_baselines::Hdrf;
+        let g = hep_gen::community::community_web(
+            hep_gen::community::CommunityParams::weblike(4000, 30_000),
+            5,
+        );
+        let rf_of = |assignments: &[(Edge, u32)]| {
+            let mut parts: Vec<std::collections::HashSet<u32>> =
+                vec![Default::default(); g.num_vertices as usize];
+            for (e, p) in assignments {
+                parts[e.src as usize].insert(*p);
+                parts[e.dst as usize].insert(*p);
+            }
+            let covered = parts.iter().filter(|s| !s.is_empty()).count();
+            parts.iter().map(|s| s.len()).sum::<usize>() as f64 / covered as f64
+        };
+        let (hep_sink, _) = run(&g, 16, 10.0);
+        let mut hdrf_sink = CollectedAssignment::default();
+        Hdrf::default().partition(&g, 16, &mut hdrf_sink).unwrap();
+        let (hep_rf, hdrf_rf) = (rf_of(&hep_sink.assignments), rf_of(&hdrf_sink.assignments));
+        assert!(
+            hep_rf < hdrf_rf,
+            "HEP-10 rf {hep_rf} should beat HDRF rf {hdrf_rf} on a web graph"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let g = EdgeList::from_pairs([(0, 1)]);
+        let mut sink = CountingSink::default();
+        assert!(Hep::with_tau(10.0).partition(&g, 1, &mut sink).is_err());
+        assert!(Hep::with_tau(-1.0).partition(&g, 4, &mut sink).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = hep_gen::GraphSpec::ChungLu { n: 500, m: 4000, gamma: 2.2 }.generate(6);
+        let (a, _) = run(&g, 8, 10.0);
+        let (b, _) = run(&g, 8, 10.0);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn uninformed_streaming_ablation_hurts_replication() {
+        // §3.3's claim: seeding the streaming state with NE++'s secondary
+        // sets is what removes the uninformed assignment problem.
+        let g = hep_gen::GraphSpec::ChungLu { n: 2000, m: 20_000, gamma: 2.0 }.generate(8);
+        let rf = |informed: bool| {
+            let mut config = HepConfig::with_tau(1.0);
+            config.informed_streaming = informed;
+            let hep = Hep { config };
+            let mut sink = CollectedAssignment::default();
+            hep.partition_with_report(&g, 16, &mut sink).unwrap();
+            let mut parts: Vec<std::collections::HashSet<u32>> =
+                vec![Default::default(); g.num_vertices as usize];
+            for (e, p) in &sink.assignments {
+                parts[e.src as usize].insert(*p);
+                parts[e.dst as usize].insert(*p);
+            }
+            let covered = parts.iter().filter(|s| !s.is_empty()).count();
+            parts.iter().map(|s| s.len()).sum::<usize>() as f64 / covered as f64
+        };
+        let (informed, uninformed) = (rf(true), rf(false));
+        assert!(
+            informed < uninformed,
+            "informed rf {informed} should beat uninformed rf {uninformed}"
+        );
+    }
+
+    #[test]
+    fn uninformed_report_sizes_still_cover_all_edges() {
+        let g = hep_gen::GraphSpec::ChungLu { n: 500, m: 5000, gamma: 2.0 }.generate(9);
+        let mut config = HepConfig::with_tau(1.0);
+        config.informed_streaming = false;
+        let hep = Hep { config };
+        let mut sink = CountingSink::default();
+        let report = hep.partition_with_report(&g, 8, &mut sink).unwrap();
+        assert_eq!(report.partition_sizes.iter().sum::<u64>(), g.num_edges());
+    }
+}

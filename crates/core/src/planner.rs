@@ -1,0 +1,146 @@
+//! τ planning under a memory budget (§4.4, Table 2).
+//!
+//! "One can perform a pre-computation step and build the cumulative sum of
+//! the size of the adjacency lists of the respective low-degree vertices for
+//! different values of τ; then, one chooses the maximal value of τ that keeps
+//! the memory bound." The pre-computation here is a degree histogram plus a
+//! prefix sum, so evaluating the whole τ grid costs `O(|V| + max_degree)`
+//! after the `O(|E|)` degree pass — negligible next to partitioning run-time,
+//! which is the point of Table 2.
+
+use hep_graph::{EdgeList, GraphError};
+
+/// A planned τ with its predicted footprint.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TauPlan {
+    /// The chosen threshold factor.
+    pub tau: f64,
+    /// Predicted bytes under the §4.2 accounting.
+    pub estimated_bytes: u64,
+}
+
+/// The §4.2 memory accounting for a hypothetical τ, without building the
+/// CSR: `Σ_{v∈V_l} d(v)·b_id + 6·|V|·b_id + |V|·(k+1)/8` with `b_id = 4`.
+pub fn estimate_footprint_bytes(graph: &EdgeList, tau: f64, k: u32) -> u64 {
+    let degrees = graph.degrees();
+    let threshold = tau * graph.mean_degree();
+    let column_entries: u64 = degrees
+        .iter()
+        .filter(|&&d| d as f64 <= threshold)
+        .map(|&d| d as u64)
+        .sum();
+    footprint_from_entries(column_entries, graph.num_vertices as u64, k)
+}
+
+#[inline]
+fn footprint_from_entries(column_entries: u64, n: u64, k: u32) -> u64 {
+    column_entries * 4 + 6 * n * 4 + n * (k as u64 + 1) / 8
+}
+
+/// Chooses the **maximum** τ from `tau_grid` whose predicted footprint fits
+/// `budget_bytes`. Returns `None` when even the smallest τ does not fit.
+///
+/// One degree pass; per-τ evaluation via a degree histogram prefix sum.
+pub fn plan_tau(
+    graph: &EdgeList,
+    k: u32,
+    budget_bytes: u64,
+    tau_grid: &[f64],
+) -> Result<Option<TauPlan>, GraphError> {
+    if tau_grid.is_empty() {
+        return Err(GraphError::InvalidConfig("tau grid must not be empty".into()));
+    }
+    if tau_grid.iter().any(|&t| !(t > 0.0)) {
+        return Err(GraphError::InvalidConfig("tau values must be positive".into()));
+    }
+    let degrees = graph.degrees();
+    let n = graph.num_vertices as u64;
+    let mean = graph.mean_degree();
+    let max_d = degrees.iter().copied().max().unwrap_or(0) as usize;
+    // weight_upto[d] = Σ degree over vertices with degree <= d.
+    let mut weight_upto = vec![0u64; max_d + 2];
+    for &d in &degrees {
+        weight_upto[d as usize + 1] += d as u64;
+    }
+    for i in 1..weight_upto.len() {
+        weight_upto[i] += weight_upto[i - 1];
+    }
+    let mut grid: Vec<f64> = tau_grid.to_vec();
+    grid.sort_by(|a, b| b.partial_cmp(a).expect("no NaN in tau grid"));
+    for tau in grid {
+        let threshold = (tau * mean).floor() as usize; // low iff d <= τ·mean
+        let entries = weight_upto[(threshold + 1).min(weight_upto.len() - 1)];
+        let bytes = footprint_from_entries(entries, n, k);
+        if bytes <= budget_bytes {
+            return Ok(Some(TauPlan { tau, estimated_bytes: bytes }));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hep_graph::PrunedCsr;
+
+    fn graph() -> EdgeList {
+        hep_gen::GraphSpec::ChungLu { n: 2000, m: 15_000, gamma: 2.0 }.generate(1)
+    }
+
+    #[test]
+    fn estimate_matches_built_csr() {
+        let g = graph();
+        for tau in [100.0, 10.0, 1.0] {
+            let est = estimate_footprint_bytes(&g, tau, 32);
+            let built = PrunedCsr::build(&g, tau).memory_footprint_paper(32);
+            assert_eq!(est, built, "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn footprint_decreases_with_tau() {
+        let g = graph();
+        let f = |tau| estimate_footprint_bytes(&g, tau, 32);
+        assert!(f(1.0) < f(10.0));
+        assert!(f(10.0) <= f(100.0));
+    }
+
+    #[test]
+    fn planner_picks_max_fitting_tau() {
+        let g = graph();
+        let grid = [100.0, 10.0, 1.0];
+        // Generous budget: the largest tau fits.
+        let plan = plan_tau(&g, 32, u64::MAX, &grid).unwrap().unwrap();
+        assert_eq!(plan.tau, 100.0);
+        // Budget exactly at tau=10's footprint: 10 is the max fitting if 100
+        // needs more.
+        let b10 = estimate_footprint_bytes(&g, 10.0, 32);
+        let b100 = estimate_footprint_bytes(&g, 100.0, 32);
+        if b100 > b10 {
+            let plan = plan_tau(&g, 32, b10, &grid).unwrap().unwrap();
+            assert_eq!(plan.tau, 10.0);
+            assert_eq!(plan.estimated_bytes, b10);
+        }
+        // Impossible budget.
+        assert_eq!(plan_tau(&g, 32, 0, &grid).unwrap(), None);
+    }
+
+    #[test]
+    fn planner_prediction_is_honoured_by_hep() {
+        // End-to-end: the built CSR's accounted footprint must not exceed
+        // the plan's estimate.
+        let g = graph();
+        let budget = estimate_footprint_bytes(&g, 10.0, 8) + 1;
+        let plan = plan_tau(&g, 8, budget, &[100.0, 10.0, 1.0]).unwrap().unwrap();
+        let built = PrunedCsr::build(&g, plan.tau).memory_footprint_paper(8);
+        assert!(built <= budget, "built {built} > budget {budget}");
+    }
+
+    #[test]
+    fn rejects_bad_grids() {
+        let g = graph();
+        assert!(plan_tau(&g, 8, 1000, &[]).is_err());
+        assert!(plan_tau(&g, 8, 1000, &[0.0]).is_err());
+        assert!(plan_tau(&g, 8, 1000, &[-2.0]).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Informed stateful streaming — HEP's second phase (§3.3, Algorithm 4).
+//!
+//! The h2h edges externalized during graph building are streamed through the
+//! HDRF scoring function. Unlike standalone HDRF, the scoring state starts
+//! *informed*: a vertex is replicated on partition `p_i` exactly if it is in
+//! NE++'s secondary set `S_i`, partition loads start at the in-memory phase's
+//! sizes, and vertex degrees are exact (from the degree pass) rather than
+//! streamed partial counts. This removes the "uninformed assignment problem"
+//! [47] for the early edges of the stream.
+
+use hep_baselines::scoring::{capacity, ReplicaState};
+use hep_ds::DenseBitset;
+use hep_graph::{AssignSink, Edge};
+
+/// Streams `h2h` edges into partitions, starting from the in-memory phase's
+/// state. `total_edges` is `|E|` (the balance constraint of Algorithm 4 is
+/// over the whole edge set, not just the streamed part). The edge source is
+/// an iterator so the externalized edge file never has to be materialized.
+#[allow(clippy::too_many_arguments)]
+pub fn stream_h2h<S: AssignSink + ?Sized>(
+    h2h: impl IntoIterator<Item = Edge>,
+    degrees: &[u32],
+    s_sets: Vec<DenseBitset>,
+    ne_sizes: Vec<u64>,
+    total_edges: u64,
+    lambda: f64,
+    alpha: f64,
+    sink: &mut S,
+) -> ReplicaState {
+    let mut state = ReplicaState::from_parts(s_sets, ne_sizes);
+    let cap = capacity(total_edges, state.k(), alpha);
+    for e in h2h {
+        let p = state.best_partition(
+            e.src,
+            e.dst,
+            degrees[e.src as usize] as u64,
+            degrees[e.dst as usize] as u64,
+            lambda,
+            cap,
+            true,
+        );
+        state.assign(e.src, e.dst, p);
+        sink.assign(e.src, e.dst, p);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hep_graph::partitioner::CollectedAssignment;
+
+    fn empty_state(k: u32, n: u32) -> (Vec<DenseBitset>, Vec<u64>) {
+        ((0..k).map(|_| DenseBitset::new(n as usize)).collect(), vec![0; k as usize])
+    }
+
+    #[test]
+    fn seeded_replicas_attract_h2h_edges() {
+        let (mut s_sets, sizes) = empty_state(4, 10);
+        // NE++ replicated vertex 3 on partition 2.
+        s_sets[2].set(3);
+        let degrees = vec![5u32; 10];
+        let h2h = vec![Edge::new(3, 7)];
+        let mut sink = CollectedAssignment::default();
+        stream_h2h(h2h.iter().copied(), &degrees, s_sets, sizes, 100, 1.1, 1.05, &mut sink);
+        assert_eq!(sink.assignments, vec![(Edge::new(3, 7), 2)]);
+    }
+
+    #[test]
+    fn loads_from_inmem_phase_steer_balance() {
+        let (s_sets, mut sizes) = empty_state(2, 10);
+        sizes[0] = 50; // partition 0 already heavy from NE++
+        let degrees = vec![2u32; 10];
+        let h2h = vec![Edge::new(1, 2)];
+        let mut sink = CollectedAssignment::default();
+        stream_h2h(h2h.iter().copied(), &degrees, s_sets, sizes, 100, 1.1, 1.05, &mut sink);
+        assert_eq!(sink.assignments[0].1, 1);
+    }
+
+    #[test]
+    fn hard_cap_respected() {
+        let (s_sets, mut sizes) = empty_state(2, 4);
+        // Partition 0 at the cap for |E|=4, k=2, alpha=1.0 -> cap 2.
+        sizes[0] = 2;
+        let degrees = vec![3u32; 4];
+        let h2h = vec![Edge::new(0, 1), Edge::new(2, 3)];
+        let mut sink = CollectedAssignment::default();
+        stream_h2h(h2h.iter().copied(), &degrees, s_sets, sizes, 4, 1.1, 1.0, &mut sink);
+        assert!(sink.assignments.iter().all(|&(_, p)| p == 1));
+    }
+
+    #[test]
+    fn returns_final_state() {
+        let (s_sets, sizes) = empty_state(2, 4);
+        let degrees = vec![1u32; 4];
+        let h2h = vec![Edge::new(0, 1)];
+        let mut sink = CollectedAssignment::default();
+        let state = stream_h2h(h2h.iter().copied(), &degrees, s_sets, sizes, 10, 1.1, 1.05, &mut sink);
+        let p = sink.assignments[0].1;
+        assert!(state.is_replicated(0, p) && state.is_replicated(1, p));
+        assert_eq!(state.load(p), 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! A dense, fixed-capacity bitset over `u32` indices.
+//!
+//! Used for the core set `C` and the per-partition secondary sets `S_i`
+//! (paper §4.2, item 4): one bit per vertex id, so membership tests during
+//! the expansion inner loop are a single shift/mask on a cache-resident word.
+
+/// A dense bitset with a fixed capacity chosen at construction time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DenseBitset {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl DenseBitset {
+    /// Creates a bitset able to hold indices `0..capacity`, all clear.
+    pub fn new(capacity: usize) -> Self {
+        DenseBitset {
+            words: vec![0u64; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Number of indices this bitset can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Heap bytes occupied by the backing storage (for memory accounting).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Sets bit `idx`. Panics if `idx >= capacity`.
+    #[inline]
+    pub fn set(&mut self, idx: u32) {
+        debug_assert!((idx as usize) < self.capacity, "bit index out of range");
+        self.words[idx as usize >> 6] |= 1u64 << (idx & 63);
+    }
+
+    /// Clears bit `idx`. Panics if `idx >= capacity`.
+    #[inline]
+    pub fn clear(&mut self, idx: u32) {
+        debug_assert!((idx as usize) < self.capacity, "bit index out of range");
+        self.words[idx as usize >> 6] &= !(1u64 << (idx & 63));
+    }
+
+    /// Returns whether bit `idx` is set.
+    #[inline]
+    pub fn get(&self, idx: u32) -> bool {
+        let w = idx as usize >> 6;
+        w < self.words.len() && (self.words[w] >> (idx & 63)) & 1 == 1
+    }
+
+    /// Sets bit `idx`, returning whether it was previously clear.
+    #[inline]
+    pub fn insert(&mut self, idx: u32) -> bool {
+        let w = idx as usize >> 6;
+        let mask = 1u64 << (idx & 63);
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        fresh
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Clears all bits, keeping the capacity.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Returns true if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Number of set bits in `self & other` (replica-set intersections).
+    pub fn intersection_count(&self, other: &DenseBitset) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place union with `other`. Capacities must match.
+    pub fn union_with(&mut self, other: &DenseBitset) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+}
+
+/// Iterator over set bit indices of a [`DenseBitset`].
+pub struct IterOnes<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> Iterator for IterOnes<'a> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let tz = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some((self.word_idx as u32) << 6 | tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut bs = DenseBitset::new(130);
+        assert!(!bs.get(0));
+        bs.set(0);
+        bs.set(63);
+        bs.set(64);
+        bs.set(129);
+        assert!(bs.get(0) && bs.get(63) && bs.get(64) && bs.get(129));
+        assert!(!bs.get(1) && !bs.get(65) && !bs.get(128));
+        bs.clear(64);
+        assert!(!bs.get(64));
+        assert_eq!(bs.count_ones(), 3);
+    }
+
+    #[test]
+    fn insert_reports_freshness() {
+        let mut bs = DenseBitset::new(10);
+        assert!(bs.insert(3));
+        assert!(!bs.insert(3));
+        assert!(bs.insert(9));
+    }
+
+    #[test]
+    fn get_out_of_range_is_false() {
+        let bs = DenseBitset::new(10);
+        assert!(!bs.get(1_000_000));
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut bs = DenseBitset::new(300);
+        for &i in &[5u32, 0, 299, 64, 128, 63] {
+            bs.set(i);
+        }
+        let ones: Vec<u32> = bs.iter_ones().collect();
+        assert_eq!(ones, vec![0, 5, 63, 64, 128, 299]);
+    }
+
+    #[test]
+    fn clear_all_and_is_empty() {
+        let mut bs = DenseBitset::new(100);
+        assert!(bs.is_empty());
+        bs.set(42);
+        assert!(!bs.is_empty());
+        bs.clear_all();
+        assert!(bs.is_empty());
+        assert_eq!(bs.capacity(), 100);
+    }
+
+    #[test]
+    fn intersection_count_counts_common_bits() {
+        let mut a = DenseBitset::new(200);
+        let mut b = DenseBitset::new(200);
+        for i in 0..100 {
+            a.set(i * 2);
+            b.set(i);
+        }
+        // Common bits: even numbers < 100 -> 50 of them.
+        assert_eq!(a.intersection_count(&b), 50);
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let mut a = DenseBitset::new(70);
+        let mut b = DenseBitset::new(70);
+        a.set(1);
+        b.set(69);
+        a.union_with(&b);
+        assert!(a.get(1) && a.get(69));
+        assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    fn heap_bytes_matches_word_count() {
+        let bs = DenseBitset::new(129);
+        assert_eq!(bs.heap_bytes(), 3 * 8);
+    }
+
+    #[test]
+    fn zero_capacity_is_usable() {
+        let bs = DenseBitset::new(0);
+        assert!(bs.is_empty());
+        assert_eq!(bs.iter_ones().count(), 0);
+    }
+
+    proptest! {
+        /// The bitset must behave exactly like a HashSet<u32> model.
+        #[test]
+        fn behaves_like_hashset(ops in proptest::collection::vec((0u32..512, any::<bool>()), 0..200)) {
+            let mut bs = DenseBitset::new(512);
+            let mut model: HashSet<u32> = HashSet::new();
+            for (idx, insert) in ops {
+                if insert {
+                    prop_assert_eq!(bs.insert(idx), model.insert(idx));
+                } else {
+                    bs.clear(idx);
+                    model.remove(&idx);
+                }
+            }
+            prop_assert_eq!(bs.count_ones(), model.len());
+            let mut expected: Vec<u32> = model.into_iter().collect();
+            expected.sort_unstable();
+            let got: Vec<u32> = bs.iter_ones().collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

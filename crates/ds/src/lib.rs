@@ -1,0 +1,25 @@
+//! Core data structures for the HEP graph partitioner.
+//!
+//! The partitioning algorithms of the paper (§4.2) are built on three bespoke
+//! structures, all of which live here so that every crate in the workspace
+//! shares one implementation:
+//!
+//! * [`DenseBitset`] — the per-partition secondary sets `S_i` and the global
+//!   core set `C` are dense bitsets over the vertex id space (`|V| * (k+1)/8`
+//!   bytes in the paper's memory accounting).
+//! * [`IndexedMinHeap`] — the expansion step needs `arg min d_ext(v, S_i)`
+//!   with decrease-key when external degrees change; a binary min-heap with a
+//!   position lookup table gives `O(log |V|)` updates.
+//! * [`fx`] — a fast non-cryptographic hasher (the FxHash function used by
+//!   rustc) for the hash maps used by streaming partitioners; integer keys
+//!   dominate, where SipHash would be needlessly slow.
+
+pub mod bitset;
+pub mod fx;
+pub mod minheap;
+pub mod rng;
+
+pub use bitset::DenseBitset;
+pub use fx::{FxHashMap, FxHashSet, FxHasher};
+pub use minheap::IndexedMinHeap;
+pub use rng::SplitMix64;

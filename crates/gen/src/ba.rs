@@ -1,0 +1,99 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! Every new vertex attaches `m_per_vertex` edges to existing vertices with
+//! probability proportional to their degree, producing a γ≈3 power law with
+//! a connected giant component — useful where connectivity matters (e.g. the
+//! BFS workloads of the processing simulator).
+
+use hep_ds::SplitMix64;
+use hep_graph::EdgeList;
+
+/// Generates a BA graph with `n` vertices; each vertex beyond the initial
+/// clique of `m_per_vertex + 1` vertices adds `m_per_vertex` edges.
+pub fn barabasi_albert(n: u32, m_per_vertex: u32, seed: u64) -> EdgeList {
+    assert!(m_per_vertex >= 1, "need at least one edge per vertex");
+    assert!(n > m_per_vertex, "need n > m_per_vertex");
+    let mut rng = SplitMix64::new(seed);
+    let m0 = m_per_vertex + 1;
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    // `targets` holds each endpoint once per incident edge: sampling an index
+    // uniformly IS degree-proportional sampling.
+    let mut targets: Vec<u32> = Vec::new();
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            pairs.push((u, v));
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    let mut picked = Vec::with_capacity(m_per_vertex as usize);
+    for v in m0..n {
+        picked.clear();
+        // Rejection-sample distinct targets for this vertex.
+        while picked.len() < m_per_vertex as usize {
+            let t = targets[rng.next_below(targets.len() as u64) as usize];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            pairs.push((v, t));
+            targets.push(v);
+            targets.push(t);
+        }
+    }
+    EdgeList::with_vertices(n, pairs).expect("ids in range by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_formula() {
+        let g = barabasi_albert(100, 3, 1);
+        // Initial K4 has 6 edges; 96 further vertices add 3 each.
+        assert_eq!(g.num_edges(), 6 + 96 * 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(200, 2, 5).edges, barabasi_albert(200, 2, 5).edges);
+    }
+
+    #[test]
+    fn is_simple_graph() {
+        let mut g = barabasi_albert(500, 4, 9);
+        let before = g.num_edges();
+        g.canonicalize();
+        assert_eq!(g.num_edges(), before);
+    }
+
+    #[test]
+    fn is_connected() {
+        let g = barabasi_albert(300, 2, 3);
+        // Union-find connectivity check.
+        let mut parent: Vec<u32> = (0..g.num_vertices).collect();
+        fn find(p: &mut Vec<u32>, x: u32) -> u32 {
+            if p[x as usize] != x {
+                let r = find(p, p[x as usize]);
+                p[x as usize] = r;
+            }
+            p[x as usize]
+        }
+        for e in &g.edges {
+            let (a, b) = (find(&mut parent, e.src), find(&mut parent, e.dst));
+            parent[a as usize] = b;
+        }
+        let root = find(&mut parent, 0);
+        assert!((0..g.num_vertices).all(|v| find(&mut parent, v) == root));
+    }
+
+    #[test]
+    fn early_vertices_become_hubs() {
+        let g = barabasi_albert(5000, 2, 7);
+        let deg = g.degrees();
+        let max = *deg.iter().max().unwrap() as f64;
+        assert!(max > 10.0 * g.mean_degree());
+    }
+}

@@ -1,0 +1,85 @@
+//! A serializable-by-hand description of a synthetic graph, so experiment
+//! harnesses can name their workloads declaratively.
+
+use crate::{ba, chunglu, community, er, rmat, special};
+use hep_graph::EdgeList;
+
+/// Declarative graph description; [`GraphSpec::generate`] is deterministic
+/// in `(spec, seed)`.
+#[derive(Clone, Debug)]
+pub enum GraphSpec {
+    /// Erdős–Rényi G(n, m).
+    ErdosRenyi { n: u32, m: u64 },
+    /// Chung–Lu power law with exponent `gamma`.
+    ChungLu { n: u32, m: u64, gamma: f64 },
+    /// Barabási–Albert preferential attachment.
+    BarabasiAlbert { n: u32, m_per_vertex: u32 },
+    /// R-MAT with `2^scale` vertices.
+    Rmat { scale: u32, m: u64, params: rmat::RmatParams },
+    /// Community-structured web-crawl analog.
+    CommunityWeb(community::CommunityParams),
+    /// Star over n vertices.
+    Star { n: u32 },
+    /// Path over n vertices.
+    Path { n: u32 },
+    /// Cycle over n vertices.
+    Cycle { n: u32 },
+    /// Complete graph K_n.
+    Complete { n: u32 },
+    /// 2D grid.
+    Grid2d { rows: u32, cols: u32 },
+    /// Disjoint cliques.
+    DisconnectedCliques { count: u32, size: u32 },
+}
+
+impl GraphSpec {
+    /// Generates the graph. Always a canonical simple graph.
+    pub fn generate(&self, seed: u64) -> EdgeList {
+        match *self {
+            GraphSpec::ErdosRenyi { n, m } => er::erdos_renyi(n, m, seed),
+            GraphSpec::ChungLu { n, m, gamma } => chunglu::chung_lu(n, m, gamma, seed),
+            GraphSpec::BarabasiAlbert { n, m_per_vertex } => {
+                ba::barabasi_albert(n, m_per_vertex, seed)
+            }
+            GraphSpec::Rmat { scale, m, params } => rmat::rmat(scale, m, params, seed),
+            GraphSpec::CommunityWeb(p) => community::community_web(p, seed),
+            GraphSpec::Star { n } => special::star(n),
+            GraphSpec::Path { n } => special::path(n),
+            GraphSpec::Cycle { n } => special::cycle(n),
+            GraphSpec::Complete { n } => special::complete(n),
+            GraphSpec::Grid2d { rows, cols } => special::grid2d(rows, cols),
+            GraphSpec::DisconnectedCliques { count, size } => {
+                special::disconnected_cliques(count, size)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_generate() {
+        let specs = [
+            GraphSpec::ErdosRenyi { n: 50, m: 100 },
+            GraphSpec::ChungLu { n: 100, m: 300, gamma: 2.2 },
+            GraphSpec::BarabasiAlbert { n: 60, m_per_vertex: 2 },
+            GraphSpec::Rmat { scale: 7, m: 300, params: rmat::RmatParams::graph500() },
+            GraphSpec::CommunityWeb(community::CommunityParams::weblike(200, 800)),
+            GraphSpec::Star { n: 10 },
+            GraphSpec::Path { n: 10 },
+            GraphSpec::Cycle { n: 10 },
+            GraphSpec::Complete { n: 8 },
+            GraphSpec::Grid2d { rows: 4, cols: 5 },
+            GraphSpec::DisconnectedCliques { count: 3, size: 5 },
+        ];
+        for spec in specs {
+            let g = spec.generate(42);
+            assert!(g.num_edges() > 0, "{spec:?} generated no edges");
+            let mut c = g.clone();
+            c.canonicalize();
+            assert_eq!(c.num_edges(), g.num_edges(), "{spec:?} not simple");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Conventional CSR with per-entry edge ids.
+//!
+//! Used by the classic NE baseline — which, like the reference implementation
+//! the paper critiques (§3.2.2), tracks edge validity in an auxiliary
+//! structure indexed by edge id — and by DNE and the multilevel partitioner.
+//! Each undirected edge appears twice in the column array (once per
+//! endpoint), both entries carrying the same edge id.
+
+use crate::edgelist::EdgeList;
+use crate::types::VertexId;
+
+/// Compressed sparse row representation of an undirected graph.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// `index[v]..index[v+1]` bounds v's adjacency in `col`/`eid`.
+    index: Vec<u64>,
+    /// Neighbour ids.
+    col: Vec<VertexId>,
+    /// Edge id of each entry (position of the edge in the input list).
+    eid: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds the CSR in two passes over the edge list (paper §4.1 "Graph
+    /// Building": degree counting pass, then insertion pass).
+    pub fn build(graph: &EdgeList) -> Self {
+        assert!(
+            graph.edges.len() < u32::MAX as usize,
+            "edge ids are u32; graph too large"
+        );
+        let n = graph.num_vertices as usize;
+        let mut deg = vec![0u64; n + 1];
+        for e in &graph.edges {
+            deg[e.src as usize + 1] += 1;
+            deg[e.dst as usize + 1] += 1;
+        }
+        let mut index = deg;
+        for i in 1..=n {
+            index[i] += index[i - 1];
+        }
+        let total = index[n] as usize;
+        let mut col = vec![0u32; total];
+        let mut eid = vec![0u32; total];
+        let mut cursor = index.clone();
+        for (id, e) in graph.edges.iter().enumerate() {
+            let cs = cursor[e.src as usize] as usize;
+            col[cs] = e.dst;
+            eid[cs] = id as u32;
+            cursor[e.src as usize] += 1;
+            let cd = cursor[e.dst as usize] as usize;
+            col[cd] = e.src;
+            eid[cd] = id as u32;
+            cursor[e.dst as usize] += 1;
+        }
+        Csr { index, col, eid }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        (self.index.len() - 1) as u32
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.col.len() as u64 / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        (self.index[v as usize + 1] - self.index[v as usize]) as u32
+    }
+
+    /// Neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.col[self.index[v as usize] as usize..self.index[v as usize + 1] as usize]
+    }
+
+    /// `(neighbor, edge_id)` pairs of `v`.
+    pub fn neighbors_with_eids(&self, v: VertexId) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        let lo = self.index[v as usize] as usize;
+        let hi = self.index[v as usize + 1] as usize;
+        self.col[lo..hi].iter().copied().zip(self.eid[lo..hi].iter().copied())
+    }
+
+    /// Heap bytes of the representation (column + eid + index arrays), for
+    /// the memory comparisons of Figure 9.
+    pub fn heap_bytes(&self) -> usize {
+        self.col.len() * 4 + self.eid.len() * 4 + self.index.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn triangle_adjacency() {
+        let g = EdgeList::from_pairs([(0, 1), (1, 2), (2, 0)]);
+        let csr = Csr::build(&g);
+        assert_eq!(csr.num_vertices(), 3);
+        assert_eq!(csr.num_edges(), 3);
+        let mut n0: Vec<u32> = csr.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+        assert_eq!(csr.degree(1), 2);
+    }
+
+    #[test]
+    fn edge_ids_are_shared_by_both_endpoints() {
+        let g = EdgeList::from_pairs([(0, 1), (0, 2)]);
+        let csr = Csr::build(&g);
+        let from0: Vec<(u32, u32)> = csr.neighbors_with_eids(0).collect();
+        assert!(from0.contains(&(1, 0)));
+        assert!(from0.contains(&(2, 1)));
+        let from1: Vec<(u32, u32)> = csr.neighbors_with_eids(1).collect();
+        assert_eq!(from1, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_lists() {
+        let g = EdgeList::with_vertices(5, [(0, 1)]).unwrap();
+        let csr = Csr::build(&g);
+        assert_eq!(csr.degree(4), 0);
+        assert!(csr.neighbors(4).is_empty());
+    }
+
+    #[test]
+    fn self_loop_occupies_two_slots_of_same_vertex() {
+        let g = EdgeList::from_pairs([(1, 1)]);
+        let csr = Csr::build(&g);
+        assert_eq!(csr.degree(1), 2);
+        assert_eq!(csr.neighbors(1), &[1, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn every_edge_appears_twice(pairs in proptest::collection::vec((0u32..40, 0u32..40), 1..150)) {
+            let g = EdgeList::from_pairs(pairs);
+            let csr = Csr::build(&g);
+            // Sum of degrees = 2 |E|
+            let sum: u64 = (0..csr.num_vertices()).map(|v| csr.degree(v) as u64).sum();
+            prop_assert_eq!(sum, 2 * g.num_edges());
+            // Each edge id appears exactly twice across all adjacency lists.
+            let mut count = vec![0u32; g.edges.len()];
+            for v in 0..csr.num_vertices() {
+                for (_, id) in csr.neighbors_with_eids(v) {
+                    count[id as usize] += 1;
+                }
+            }
+            prop_assert!(count.iter().all(|&c| c == 2));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type shared by graph IO and partitioning.
+
+use std::fmt;
+
+/// Errors raised by graph construction, IO and partitioning.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A text edge list line could not be parsed.
+    Parse { line: usize, content: String },
+    /// A binary edge list had a trailing partial record.
+    TruncatedBinary { bytes: usize },
+    /// The requested partition count is invalid (k must be >= 2).
+    InvalidPartitionCount { k: u32 },
+    /// The graph has no edges, which partitioners cannot handle meaningfully.
+    EmptyGraph,
+    /// An edge referenced a vertex id >= the declared vertex count.
+    VertexOutOfRange { vertex: u32, num_vertices: u32 },
+    /// A configuration parameter was out of its valid domain.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+            GraphError::Parse { line, content } => {
+                write!(f, "cannot parse edge list line {line}: {content:?}")
+            }
+            GraphError::TruncatedBinary { bytes } => {
+                write!(f, "binary edge list truncated: {bytes} trailing bytes")
+            }
+            GraphError::InvalidPartitionCount { k } => {
+                write!(f, "invalid partition count k={k}; need k >= 2")
+            }
+            GraphError::EmptyGraph => write!(f, "graph has no edges"),
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range (num_vertices={num_vertices})")
+            }
+            GraphError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::Parse { line: 3, content: "a b".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = GraphError::InvalidPartitionCount { k: 1 };
+        assert!(e.to_string().contains("k=1"));
+    }
+
+    #[test]
+    fn io_error_round_trips_source() {
+        use std::error::Error;
+        let e: GraphError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+    }
+}

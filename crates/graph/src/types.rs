@@ -1,0 +1,75 @@
+//! Fundamental identifier and edge types.
+//!
+//! The paper stores vertex ids in 4-byte unsigned integers (§4.2); all graphs
+//! in the evaluation have fewer than 2^32 vertices, and so do ours.
+
+/// A vertex identifier; dense in `0..num_vertices`.
+pub type VertexId = u32;
+
+/// A partition identifier; dense in `0..k`.
+pub type PartitionId = u32;
+
+/// An edge of the input graph. The graph is logically undirected, but the
+/// *stored* direction matters: NE++'s last-partition pass (Algorithm 3)
+/// assigns low–low edges "from the perspective of the left-hand side vertex
+/// of the edge in the original edge list".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    pub src: VertexId,
+    pub dst: VertexId,
+}
+
+impl Edge {
+    /// Creates an edge as listed in the input file.
+    #[inline]
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        Edge { src, dst }
+    }
+
+    /// The edge with endpoints ordered `(min, max)`; identifies the
+    /// undirected edge regardless of stored direction.
+    #[inline]
+    pub fn canonical(self) -> Edge {
+        if self.src <= self.dst {
+            self
+        } else {
+            Edge { src: self.dst, dst: self.src }
+        }
+    }
+
+    /// Whether both endpoints coincide.
+    #[inline]
+    pub fn is_self_loop(self) -> bool {
+        self.src == self.dst
+    }
+}
+
+impl From<(VertexId, VertexId)> for Edge {
+    fn from((src, dst): (VertexId, VertexId)) -> Self {
+        Edge { src, dst }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_orders_endpoints() {
+        assert_eq!(Edge::new(5, 2).canonical(), Edge::new(2, 5));
+        assert_eq!(Edge::new(2, 5).canonical(), Edge::new(2, 5));
+        assert_eq!(Edge::new(3, 3).canonical(), Edge::new(3, 3));
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(Edge::new(1, 1).is_self_loop());
+        assert!(!Edge::new(1, 2).is_self_loop());
+    }
+
+    #[test]
+    fn tuple_conversion() {
+        let e: Edge = (1u32, 2u32).into();
+        assert_eq!(e, Edge::new(1, 2));
+    }
+}

@@ -1,0 +1,61 @@
+//! Power-law hypergraph generator: hyperedge sizes and vertex popularity
+//! both follow heavy-tailed distributions, mirroring real tag/author/webpage
+//! hypergraphs.
+
+use crate::hypergraph::Hypergraph;
+use hep_ds::SplitMix64;
+
+/// Generates `m` hyperedges over `n` vertices; pin counts are Zipf-ish in
+/// `2..=max_pins` and pins are drawn with power-law popularity (γ ≈ 2.2).
+pub fn power_law_hypergraph(n: u32, m: u64, max_pins: u32, seed: u64) -> Hypergraph {
+    assert!(n >= 2 && max_pins >= 2);
+    let mut rng = SplitMix64::new(seed);
+    // Popularity inversion: vertex = n * u^2 concentrates on low ids.
+    let draw_vertex = |rng: &mut SplitMix64| -> u32 {
+        let u = rng.next_f64();
+        ((n as f64 * u * u) as u32).min(n - 1)
+    };
+    let mut hyperedges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let u = rng.next_f64().max(1e-9);
+        let size = (2.0 + (max_pins as f64 - 2.0) * u * u * u) as u32;
+        let mut pins = Vec::with_capacity(size as usize);
+        let mut guard = 0;
+        while pins.len() < size as usize && guard < 10 * size {
+            guard += 1;
+            let v = draw_vertex(&mut rng);
+            if !pins.contains(&v) {
+                pins.push(v);
+            }
+        }
+        hyperedges.push(pins);
+    }
+    Hypergraph::new(n, hyperedges).expect("ids in range by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let h = power_law_hypergraph(1000, 5000, 12, 1);
+        assert_eq!(h.num_hyperedges(), 5000);
+        assert!(h.hyperedges.iter().all(|p| p.len() >= 2 && p.len() <= 12));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = power_law_hypergraph(500, 2000, 8, 7);
+        let b = power_law_hypergraph(500, 2000, 8, 7);
+        assert_eq!(a.hyperedges, b.hyperedges);
+    }
+
+    #[test]
+    fn vertex_popularity_is_skewed() {
+        let h = power_law_hypergraph(2000, 20_000, 10, 3);
+        let deg = h.degrees();
+        let max = *deg.iter().max().unwrap() as f64;
+        assert!(max > 10.0 * h.mean_degree(), "max {max} mean {}", h.mean_degree());
+    }
+}

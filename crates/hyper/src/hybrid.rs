@@ -1,0 +1,228 @@
+//! The hybrid paradigm transplanted to hypergraphs (paper §7).
+//!
+//! Split by the τ threshold on vertex degrees, as in §3.1: hyperedges whose
+//! pins are **all** high-degree go to the streaming phase; every other
+//! hyperedge is partitioned in memory by neighbourhood expansion. The
+//! expansion's vertex-coverage state seeds the streaming scorer (informed
+//! streaming, §3.3).
+
+use crate::hypergraph::{HyperMetrics, Hypergraph};
+use crate::minmax::HyperReplicaState;
+use hep_ds::{DenseBitset, IndexedMinHeap};
+use hep_graph::{GraphError, PartitionId};
+
+/// Hybrid in-memory + streaming hyperedge partitioner.
+#[derive(Clone, Debug)]
+pub struct HybridHyper {
+    /// Degree threshold factor (high iff `d(v) > tau * mean_degree`).
+    pub tau: f64,
+    /// Hard balance cap factor of the streaming phase.
+    pub alpha: f64,
+}
+
+impl HybridHyper {
+    /// Hybrid partitioner with the given τ.
+    pub fn with_tau(tau: f64) -> Self {
+        HybridHyper { tau, alpha: 1.05 }
+    }
+
+    /// Partitions hyperedges into `k` parts; returns per-hyperedge labels
+    /// and metrics.
+    pub fn partition(
+        &self,
+        h: &Hypergraph,
+        k: u32,
+    ) -> Result<(Vec<PartitionId>, HyperMetrics), GraphError> {
+        if k < 2 {
+            return Err(GraphError::InvalidPartitionCount { k });
+        }
+        if h.hyperedges.is_empty() {
+            return Err(GraphError::EmptyGraph);
+        }
+        if !(self.tau > 0.0) {
+            return Err(GraphError::InvalidConfig("tau must be positive".into()));
+        }
+        let n = h.num_vertices;
+        let degrees = h.degrees();
+        let threshold = self.tau * h.mean_degree();
+        let mut high = DenseBitset::new(n as usize);
+        for (v, &d) in degrees.iter().enumerate() {
+            if d as f64 > threshold {
+                high.set(v as u32);
+            }
+        }
+        // Split: "h2h" hyperedges have only high-degree pins.
+        let (mut inmem, mut streamed): (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
+        for (e, pins) in h.hyperedges.iter().enumerate() {
+            if pins.iter().all(|&v| high.get(v)) {
+                streamed.push(e as u32);
+            } else {
+                inmem.push(e as u32);
+            }
+        }
+        let mut assignment = vec![0u32; h.hyperedges.len()];
+        let mut metrics = HyperMetrics::new(k, n);
+        let mut state = HyperReplicaState::new(k, n);
+
+        // Phase 1: neighbourhood expansion over the in-memory hyperedges.
+        self.expand_inmem(h, &inmem, k, &mut assignment, &mut metrics, &mut state);
+
+        // Phase 2: informed streaming of the all-high hyperedges.
+        let cap = ((self.alpha * h.num_hyperedges() as f64) / k as f64).ceil() as u64;
+        for &e in &streamed {
+            let pins = &h.hyperedges[e as usize];
+            let p = state.best_partition(pins, cap);
+            state.assign(pins, p);
+            metrics.assign(pins, p);
+            assignment[e as usize] = p;
+        }
+        Ok((assignment, metrics))
+    }
+
+    /// Hyperedge-centric neighbourhood expansion, the direct analog of NE's
+    /// min-external-degree rule: per partition, repeatedly assign the
+    /// unassigned hyperedge with the fewest pins *outside* the partition's
+    /// grown vertex set, then add its pins to the set. For 2-pin hyperedges
+    /// this degenerates to NE's expansion order.
+    fn expand_inmem(
+        &self,
+        h: &Hypergraph,
+        inmem: &[u32],
+        k: u32,
+        assignment: &mut [PartitionId],
+        metrics: &mut HyperMetrics,
+        state: &mut HyperReplicaState,
+    ) {
+        let n = h.num_vertices;
+        let incidence = h.incidence();
+        let total = inmem.len() as u64;
+        let caps: Vec<u64> =
+            (0..k as u64).map(|i| (total * (i + 1)) / k as u64 - (total * i) / k as u64).collect();
+        let mut is_inmem = DenseBitset::new(h.hyperedges.len());
+        for &e in inmem {
+            is_inmem.set(e);
+        }
+        let mut assigned = DenseBitset::new(h.hyperedges.len());
+        // missing[e] = pins of e outside the current partition's vertex set.
+        let mut missing: Vec<u32> = h.hyperedges.iter().map(|p| p.len() as u32).collect();
+        let mut in_set = DenseBitset::new(n as usize);
+        let mut heap = IndexedMinHeap::new(h.hyperedges.len());
+        let mut placed = 0u64;
+
+        for p in 0..k {
+            if placed >= total {
+                break;
+            }
+            // Fresh set per partition: reset external-pin counts of the
+            // still-unassigned hyperedges and rebuild the frontier heap.
+            in_set.clear_all();
+            heap.clear();
+            for &e in inmem {
+                if !assigned.get(e) {
+                    let pins = h.hyperedges[e as usize].len() as u32;
+                    missing[e as usize] = pins;
+                    heap.insert(e, pins as u64);
+                }
+            }
+            let mut size = 0u64;
+            while size < caps[p as usize] {
+                let e = match heap.pop_min() {
+                    Some((_, e)) => e,
+                    None => break,
+                };
+                debug_assert!(!assigned.get(e));
+                assigned.set(e);
+                let pins = &h.hyperedges[e as usize];
+                state.assign(pins, p);
+                metrics.assign(pins, p);
+                assignment[e as usize] = p;
+                size += 1;
+                placed += 1;
+                // Grow the set by e's still-external pins; every hyperedge
+                // sharing such a pin gets one step closer to internal.
+                for &v in pins {
+                    if !in_set.insert(v) {
+                        continue;
+                    }
+                    for &f in &incidence[v as usize] {
+                        if is_inmem.get(f) && !assigned.get(f) {
+                            missing[f as usize] -= 1;
+                            heap.decrease_key_by(f, 1);
+                        }
+                    }
+                }
+            }
+        }
+        // Remainder (capacity rounding): least-loaded placement.
+        for &e in inmem {
+            if !assigned.get(e) {
+                let p = (0..k)
+                    .min_by_key(|&p| state.loads[p as usize])
+                    .expect("k >= 1");
+                let pins = &h.hyperedges[e as usize];
+                state.assign(pins, p);
+                metrics.assign(pins, p);
+                assignment[e as usize] = p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::power_law_hypergraph;
+    use crate::minmax::StreamingMinMax;
+
+    #[test]
+    fn covers_every_hyperedge_exactly_once() {
+        let h = power_law_hypergraph(800, 5000, 10, 1);
+        let (assignment, m) = HybridHyper::with_tau(10.0).partition(&h, 8).unwrap();
+        assert_eq!(assignment.len(), 5000);
+        assert_eq!(m.sizes.iter().sum::<u64>(), 5000);
+        assert!(assignment.iter().all(|&p| p < 8));
+    }
+
+    #[test]
+    fn beats_pure_streaming_on_replication() {
+        let h = power_law_hypergraph(2000, 15_000, 8, 2);
+        let (_, hybrid) = HybridHyper::with_tau(10.0).partition(&h, 8).unwrap();
+        let (_, streaming) = StreamingMinMax::default().partition(&h, 8).unwrap();
+        assert!(
+            hybrid.replication_factor() < streaming.replication_factor(),
+            "hybrid {} vs streaming {}",
+            hybrid.replication_factor(),
+            streaming.replication_factor()
+        );
+    }
+
+    #[test]
+    fn tau_controls_streamed_share() {
+        let h = power_law_hypergraph(2000, 15_000, 8, 3);
+        let streamed_share = |tau: f64| {
+            let degrees = h.degrees();
+            let threshold = tau * h.mean_degree();
+            h.hyperedges
+                .iter()
+                .filter(|pins| pins.iter().all(|&v| degrees[v as usize] as f64 > threshold))
+                .count()
+        };
+        assert!(streamed_share(0.5) > streamed_share(5.0));
+    }
+
+    #[test]
+    fn balance_is_maintained() {
+        let h = power_law_hypergraph(1000, 8000, 6, 4);
+        let (_, m) = HybridHyper::with_tau(1.0).partition(&h, 16).unwrap();
+        assert!(m.balance_factor() <= 1.10, "balance {}", m.balance_factor());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let h = power_law_hypergraph(100, 500, 5, 5);
+        assert!(HybridHyper::with_tau(10.0).partition(&h, 1).is_err());
+        assert!(HybridHyper::with_tau(0.0).partition(&h, 4).is_err());
+        let empty = Hypergraph::new(4, Vec::<Vec<u32>>::new()).unwrap();
+        assert!(HybridHyper::with_tau(10.0).partition(&empty, 4).is_err());
+    }
+}

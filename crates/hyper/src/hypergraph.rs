@@ -1,0 +1,160 @@
+//! Hypergraph representation and partitioning metrics.
+
+use hep_ds::DenseBitset;
+use hep_graph::{GraphError, PartitionId, VertexId};
+
+/// A hypergraph: vertices `0..num_vertices` and hyperedges given by pin
+/// lists (each a non-empty, duplicate-free vertex set).
+#[derive(Clone, Debug, Default)]
+pub struct Hypergraph {
+    /// Vertex id space.
+    pub num_vertices: u32,
+    /// Pin lists, one per hyperedge.
+    pub hyperedges: Vec<Vec<VertexId>>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph, validating ids and deduplicating pins.
+    pub fn new(
+        num_vertices: u32,
+        hyperedges: impl IntoIterator<Item = Vec<VertexId>>,
+    ) -> Result<Self, GraphError> {
+        let mut edges = Vec::new();
+        for mut pins in hyperedges {
+            pins.sort_unstable();
+            pins.dedup();
+            if pins.is_empty() {
+                continue;
+            }
+            if let Some(&max) = pins.last() {
+                if max >= num_vertices {
+                    return Err(GraphError::VertexOutOfRange { vertex: max, num_vertices });
+                }
+            }
+            edges.push(pins);
+        }
+        Ok(Hypergraph { num_vertices, hyperedges: edges })
+    }
+
+    /// Number of hyperedges.
+    pub fn num_hyperedges(&self) -> u64 {
+        self.hyperedges.len() as u64
+    }
+
+    /// Vertex degrees (number of incident hyperedges).
+    pub fn degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_vertices as usize];
+        for pins in &self.hyperedges {
+            for &v in pins {
+                deg[v as usize] += 1;
+            }
+        }
+        deg
+    }
+
+    /// Mean vertex degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_vertices == 0 {
+            return 0.0;
+        }
+        let pins: u64 = self.hyperedges.iter().map(|p| p.len() as u64).sum();
+        pins as f64 / self.num_vertices as f64
+    }
+
+    /// Incidence lists: for each vertex, the ids of its hyperedges.
+    pub fn incidence(&self) -> Vec<Vec<u32>> {
+        let mut inc = vec![Vec::new(); self.num_vertices as usize];
+        for (e, pins) in self.hyperedges.iter().enumerate() {
+            for &v in pins {
+                inc[v as usize].push(e as u32);
+            }
+        }
+        inc
+    }
+}
+
+/// Metrics sink for hyperedge partitionings.
+#[derive(Clone, Debug)]
+pub struct HyperMetrics {
+    covered: Vec<DenseBitset>,
+    /// Hyperedges per partition.
+    pub sizes: Vec<u64>,
+}
+
+impl HyperMetrics {
+    /// Empty metrics for `k` partitions over `num_vertices`.
+    pub fn new(k: u32, num_vertices: u32) -> Self {
+        HyperMetrics {
+            covered: (0..k).map(|_| DenseBitset::new(num_vertices as usize)).collect(),
+            sizes: vec![0; k as usize],
+        }
+    }
+
+    /// Records hyperedge `pins` on partition `p`.
+    pub fn assign(&mut self, pins: &[VertexId], p: PartitionId) {
+        for &v in pins {
+            self.covered[p as usize].set(v);
+        }
+        self.sizes[p as usize] += 1;
+    }
+
+    /// Replication factor over covered vertices.
+    pub fn replication_factor(&self) -> f64 {
+        let n = self.covered.first().map_or(0, |b| b.capacity());
+        let mut total = 0u64;
+        let mut covered = 0u64;
+        for v in 0..n as u32 {
+            let c = self.covered.iter().filter(|s| s.get(v)).count() as u64;
+            total += c;
+            covered += (c > 0) as u64;
+        }
+        if covered == 0 {
+            0.0
+        } else {
+            total as f64 / covered as f64
+        }
+    }
+
+    /// Balance factor `max_size * k / total`.
+    pub fn balance_factor(&self) -> f64 {
+        let total: u64 = self.sizes.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.sizes.iter().max().expect("k >= 1") as f64 * self.sizes.len() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_dedups_and_validates() {
+        let h = Hypergraph::new(5, vec![vec![0, 1, 1, 2], vec![3], vec![]]).unwrap();
+        assert_eq!(h.num_hyperedges(), 2);
+        assert_eq!(h.hyperedges[0], vec![0, 1, 2]);
+        assert!(Hypergraph::new(2, vec![vec![0, 5]]).is_err());
+    }
+
+    #[test]
+    fn degrees_and_incidence() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![0, 2, 3]]).unwrap();
+        assert_eq!(h.degrees(), vec![2, 1, 1, 1]);
+        let inc = h.incidence();
+        assert_eq!(inc[0], vec![0, 1]);
+        assert_eq!(inc[3], vec![1]);
+    }
+
+    #[test]
+    fn metrics_replication() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![0, 2], vec![0, 3]]).unwrap();
+        let mut m = HyperMetrics::new(2, 4);
+        m.assign(&h.hyperedges[0], 0);
+        m.assign(&h.hyperedges[1], 1);
+        m.assign(&h.hyperedges[2], 1);
+        // Vertex 0 on both partitions; 1, 2, 3 on one each: RF = 5/4.
+        assert!((m.replication_factor() - 1.25).abs() < 1e-12);
+        assert!((m.balance_factor() - 4.0 / 3.0).abs() < 1e-12);
+    }
+}

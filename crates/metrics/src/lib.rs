@@ -1,0 +1,20 @@
+//! Metrics and measurement utilities for partitioning experiments.
+//!
+//! * [`PartitionMetrics`] — an [`hep_graph::AssignSink`] that accumulates the
+//!   paper's §5.1 performance metrics while a partitioner runs: replication
+//!   factor, edge balance α, vertex-replica balance (Table 5) and per-degree
+//!   replication (Figure 2).
+//! * [`validity`] — exactly-once assignment checking, used by tests and the
+//!   experiment harness as a guard on every partitioner.
+//! * [`alloc_track`] — a counting global allocator measuring peak live bytes
+//!   (the reproduction's substitute for "maximum resident set size").
+//! * [`table`] — fixed-width text tables for paper-style experiment output.
+
+pub mod alloc_track;
+pub mod partition_metrics;
+pub mod table;
+pub mod validity;
+
+pub use partition_metrics::PartitionMetrics;
+pub use table::Table;
+pub use validity::validate_assignment;

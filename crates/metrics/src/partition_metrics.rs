@@ -1,0 +1,220 @@
+//! Partitioning quality metrics (paper §2 and §5.1).
+
+use hep_ds::DenseBitset;
+use hep_graph::degrees::degree_bucket;
+use hep_graph::{AssignSink, PartitionId, VertexId};
+
+/// Accumulates metrics as a partitioner emits assignments.
+#[derive(Clone, Debug)]
+pub struct PartitionMetrics {
+    k: u32,
+    /// `V(p_i)`: vertices covered by each partition.
+    covered: Vec<DenseBitset>,
+    /// Edge count per partition.
+    pub edge_counts: Vec<u64>,
+    total_edges: u64,
+}
+
+impl PartitionMetrics {
+    /// Empty metrics for `k` partitions over `num_vertices` ids.
+    pub fn new(k: u32, num_vertices: u32) -> Self {
+        PartitionMetrics {
+            k,
+            covered: (0..k).map(|_| DenseBitset::new(num_vertices as usize)).collect(),
+            edge_counts: vec![0; k as usize],
+            total_edges: 0,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Total edges assigned so far.
+    pub fn total_edges(&self) -> u64 {
+        self.total_edges
+    }
+
+    /// Per-vertex replica counts (number of partitions covering each vertex).
+    pub fn replica_counts(&self) -> Vec<u32> {
+        let n = self.covered.first().map_or(0, |b| b.capacity());
+        let mut counts = vec![0u32; n];
+        for set in &self.covered {
+            for v in set.iter_ones() {
+                counts[v as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Replication factor `RF = Σ_i |V(p_i)| / |V_covered|` (§2). The
+    /// denominator is the set of vertices incident to at least one assigned
+    /// edge, which equals the paper's `|V|` on graphs without isolated
+    /// vertices.
+    pub fn replication_factor(&self) -> f64 {
+        let counts = self.replica_counts();
+        let covered = counts.iter().filter(|&&c| c > 0).count();
+        if covered == 0 {
+            return 0.0;
+        }
+        counts.iter().map(|&c| c as u64).sum::<u64>() as f64 / covered as f64
+    }
+
+    /// Edge balance factor `α = max_i |p_i| · k / |E|` (§2's constraint is
+    /// `|p_i| ≤ α |E| / k`).
+    pub fn balance_factor(&self) -> f64 {
+        if self.total_edges == 0 {
+            return 0.0;
+        }
+        let max = *self.edge_counts.iter().max().expect("k >= 1");
+        max as f64 * self.k as f64 / self.total_edges as f64
+    }
+
+    /// Vertex-replica balance: `std / mean` of `|V(p_i)|` across partitions
+    /// (Table 5's metric; lower is more balanced).
+    pub fn vertex_balance(&self) -> f64 {
+        let sizes: Vec<f64> = self.covered.iter().map(|s| s.count_ones() as f64).collect();
+        let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = sizes.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / sizes.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// Average replication factor per degree bucket `[1,10], [11,100], ...`
+    /// (Figure 2). Returns `(avg_rf, vertex_count)` per bucket; buckets with
+    /// no vertices report 0.
+    pub fn degree_bucket_rf(&self, degrees: &[u32]) -> Vec<(f64, u64)> {
+        let counts = self.replica_counts();
+        let max_bucket = degrees.iter().map(|&d| degree_bucket(d)).max().unwrap_or(0);
+        let mut sums = vec![0u64; max_bucket + 1];
+        let mut nums = vec![0u64; max_bucket + 1];
+        for (v, &d) in degrees.iter().enumerate() {
+            if d == 0 {
+                continue;
+            }
+            let b = degree_bucket(d);
+            sums[b] += counts[v] as u64;
+            nums[b] += 1;
+        }
+        sums.into_iter()
+            .zip(nums)
+            .map(|(s, n)| if n == 0 { (0.0, 0) } else { (s as f64 / n as f64, n) })
+            .collect()
+    }
+
+    /// Covered-vertex counts per partition `|V(p_i)|`.
+    pub fn covered_counts(&self) -> Vec<u64> {
+        self.covered.iter().map(|s| s.count_ones() as u64).collect()
+    }
+}
+
+impl AssignSink for PartitionMetrics {
+    fn assign(&mut self, u: VertexId, v: VertexId, p: PartitionId) {
+        self.covered[p as usize].set(u);
+        self.covered[p as usize].set(v);
+        self.edge_counts[p as usize] += 1;
+        self.total_edges += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_star_example() {
+        // Figure 1: star 0-(1,2,3), 0-(4,5,6) split into two partitions.
+        // Vertex 0 is replicated twice; all others once. RF = 8/7.
+        let mut m = PartitionMetrics::new(2, 7);
+        for v in [1, 2, 3] {
+            m.assign(0, v, 0);
+        }
+        for v in [4, 5, 6] {
+            m.assign(0, v, 1);
+        }
+        assert!((m.replication_factor() - 8.0 / 7.0).abs() < 1e-12);
+        assert_eq!(m.balance_factor(), 1.0);
+        assert_eq!(m.covered_counts(), vec![4, 4]);
+    }
+
+    #[test]
+    fn replica_counts_are_distinct_partitions() {
+        let mut m = PartitionMetrics::new(3, 4);
+        m.assign(0, 1, 0);
+        m.assign(0, 1, 0); // same partition again: no extra replica
+        m.assign(0, 2, 2);
+        assert_eq!(m.replica_counts(), vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn balance_factor_detects_imbalance() {
+        let mut m = PartitionMetrics::new(2, 10);
+        m.assign(0, 1, 0);
+        m.assign(1, 2, 0);
+        m.assign(2, 3, 0);
+        m.assign(4, 5, 1);
+        assert!((m.balance_factor() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertex_balance_zero_when_equal() {
+        let mut m = PartitionMetrics::new(2, 8);
+        m.assign(0, 1, 0);
+        m.assign(2, 3, 1);
+        assert_eq!(m.vertex_balance(), 0.0);
+        m.assign(4, 5, 1);
+        assert!(m.vertex_balance() > 0.0);
+    }
+
+    #[test]
+    fn degree_bucket_rf_buckets_correctly() {
+        let mut m = PartitionMetrics::new(2, 4);
+        // Vertex 0: deg 5 (bucket 0), replicated twice. Vertex 1: deg 50
+        // (bucket 1), once. Vertices 2, 3: deg 1, once each.
+        m.assign(0, 1, 0);
+        m.assign(0, 2, 1);
+        m.assign(1, 3, 0);
+        let degrees = vec![5, 50, 1, 1];
+        let buckets = m.degree_bucket_rf(&degrees);
+        assert_eq!(buckets.len(), 2);
+        assert!((buckets[0].0 - (2 + 1 + 1) as f64 / 3.0).abs() < 1e-12);
+        assert_eq!(buckets[0].1, 3);
+        assert_eq!(buckets[1], (1.0, 1));
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = PartitionMetrics::new(4, 10);
+        assert_eq!(m.replication_factor(), 0.0);
+        assert_eq!(m.balance_factor(), 0.0);
+        assert_eq!(m.total_edges(), 0);
+    }
+
+    #[test]
+    fn agrees_with_bruteforce_on_real_partitioner() {
+        use hep_graph::EdgePartitioner;
+        let g = hep_gen::GraphSpec::ChungLu { n: 300, m: 2000, gamma: 2.2 }.generate(1);
+        let mut metrics = PartitionMetrics::new(4, g.num_vertices);
+        let mut collected = hep_graph::partitioner::CollectedAssignment::default();
+        {
+            let mut tee = hep_graph::partitioner::TeeSink {
+                first: &mut metrics,
+                second: &mut collected,
+            };
+            hep_baselines::Hdrf::default().partition(&g, 4, &mut tee).unwrap();
+        }
+        // Brute-force RF from the collected assignment.
+        let mut sets: Vec<std::collections::HashSet<u32>> =
+            vec![Default::default(); g.num_vertices as usize];
+        for (e, p) in &collected.assignments {
+            sets[e.src as usize].insert(*p);
+            sets[e.dst as usize].insert(*p);
+        }
+        let covered = sets.iter().filter(|s| !s.is_empty()).count();
+        let rf = sets.iter().map(|s| s.len()).sum::<usize>() as f64 / covered as f64;
+        assert!((metrics.replication_factor() - rf).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Exactly-once assignment validation (§2: the partitions are disjoint and
+//! cover `E`). Used as a guard by the experiment harness: an experiment that
+//! reports metrics for an invalid partitioning would be meaningless.
+
+use hep_ds::FxHashMap;
+use hep_graph::partitioner::CollectedAssignment;
+use hep_graph::{Edge, EdgeList};
+
+/// Checks that `assignment` places every edge of `graph` exactly once on a
+/// partition `< k`. Returns a human-readable description of the first
+/// violation.
+pub fn validate_assignment(
+    graph: &EdgeList,
+    assignment: &CollectedAssignment,
+    k: u32,
+) -> Result<(), String> {
+    if assignment.assignments.len() != graph.edges.len() {
+        return Err(format!(
+            "assigned {} edges but the graph has {}",
+            assignment.assignments.len(),
+            graph.edges.len()
+        ));
+    }
+    let mut expect: FxHashMap<Edge, i64> = FxHashMap::default();
+    expect.reserve(graph.edges.len());
+    for e in &graph.edges {
+        *expect.entry(e.canonical()).or_insert(0) += 1;
+    }
+    for (e, p) in &assignment.assignments {
+        if *p >= k {
+            return Err(format!("edge {e:?} assigned to out-of-range partition {p} (k={k})"));
+        }
+        match expect.get_mut(&e.canonical()) {
+            Some(c) if *c > 0 => *c -= 1,
+            Some(_) => return Err(format!("edge {e:?} assigned more than once")),
+            None => return Err(format!("edge {e:?} does not exist in the input")),
+        }
+    }
+    if let Some((e, _)) = expect.iter().find(|(_, &c)| c != 0) {
+        return Err(format!("edge {e:?} never assigned"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hep_graph::AssignSink;
+
+    fn graph() -> EdgeList {
+        EdgeList::from_pairs([(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn accepts_valid_assignment() {
+        let g = graph();
+        let mut a = CollectedAssignment::default();
+        a.assign(0, 1, 0);
+        a.assign(2, 1, 1); // reversed direction still matches canonically
+        a.assign(2, 0, 1);
+        assert!(validate_assignment(&g, &a, 2).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_edge() {
+        let g = graph();
+        let mut a = CollectedAssignment::default();
+        a.assign(0, 1, 0);
+        a.assign(1, 2, 1);
+        let err = validate_assignment(&g, &a, 2).unwrap_err();
+        assert!(err.contains("assigned 2 edges"), "{err}");
+    }
+
+    #[test]
+    fn rejects_double_assignment() {
+        let g = graph();
+        let mut a = CollectedAssignment::default();
+        a.assign(0, 1, 0);
+        a.assign(1, 0, 1);
+        a.assign(1, 2, 1);
+        let err = validate_assignment(&g, &a, 2).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn rejects_phantom_edge() {
+        let g = graph();
+        let mut a = CollectedAssignment::default();
+        a.assign(0, 1, 0);
+        a.assign(1, 2, 1);
+        a.assign(0, 3, 1);
+        let err = validate_assignment(&g, &a, 2).unwrap_err();
+        assert!(err.contains("does not exist"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_partition() {
+        let g = graph();
+        let mut a = CollectedAssignment::default();
+        a.assign(0, 1, 5);
+        a.assign(1, 2, 0);
+        a.assign(2, 0, 1);
+        let err = validate_assignment(&g, &a, 2).unwrap_err();
+        assert!(err.contains("out-of-range"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_input_edges_need_matching_multiplicity() {
+        let g = EdgeList::from_pairs([(0, 1), (0, 1)]);
+        let mut a = CollectedAssignment::default();
+        a.assign(0, 1, 0);
+        a.assign(1, 0, 1);
+        assert!(validate_assignment(&g, &a, 2).is_ok());
+    }
+}

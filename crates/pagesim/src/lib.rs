@@ -1,0 +1,19 @@
+//! Paging simulation for the §5.5 comparison (Table 6).
+//!
+//! The paper restricts NE++'s memory with cgroups and swaps to an SSD,
+//! counting hard page faults. This crate reproduces the experiment in
+//! simulation: NE++ records the sequence of column-array word accesses
+//! (`HepConfig::record_trace`), and an LRU page cache of configurable size
+//! replays the trace counting faults. The modeled run-time is
+//! `cpu_time + faults · fault_penalty`, with the penalty defaulting to a
+//! typical SSD 4 KiB random-read latency.
+//!
+//! The column array dominates the footprint (§4.2) and is the only
+//! irregularly-accessed large structure, so restricting the cache to it
+//! captures the mechanism behind Table 6's blow-up.
+
+pub mod lru;
+pub mod replay;
+
+pub use lru::LruPageCache;
+pub use replay::{replay_trace, PagingStats};

@@ -1,0 +1,168 @@
+//! A classic LRU page cache over `u64` page ids.
+
+use hep_ds::FxHashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    page: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU cache; [`LruPageCache::access`] reports hit/miss and
+/// evicts the least-recently-used page on overflow.
+pub struct LruPageCache {
+    capacity: usize,
+    map: FxHashMap<u64, usize>,
+    nodes: Vec<Node>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl LruPageCache {
+    /// Creates a cache holding up to `capacity` pages (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruPageCache {
+            capacity,
+            map: FxHashMap::default(),
+            nodes: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no page is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Touches `page`; returns true on a hit, false on a fault (after which
+    /// the page is resident).
+    pub fn access(&mut self, page: u64) -> bool {
+        if let Some(&slot) = self.map.get(&page) {
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return true;
+        }
+        // Fault: evict if at capacity, reusing the evicted slot.
+        let slot = if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.nodes[victim].page);
+            self.nodes[victim].page = page;
+            victim
+        } else {
+            self.nodes.push(Node { page, prev: NIL, next: NIL });
+            self.nodes.len() - 1
+        };
+        self.map.insert(page, slot);
+        self.push_front(slot);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = LruPageCache::new(2);
+        assert!(!c.access(1));
+        assert!(c.access(1));
+        assert!(c.access(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruPageCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // 2 is now LRU
+        assert!(!c.access(3)); // evicts 2
+        assert!(c.access(1));
+        assert!(!c.access(2)); // 2 was evicted
+    }
+
+    #[test]
+    fn capacity_one_thrashes() {
+        let mut c = LruPageCache::new(1);
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(!c.access(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let mut c = LruPageCache::new(0);
+        assert!(!c.access(7));
+        assert!(c.access(7));
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_refaults() {
+        let mut c = LruPageCache::new(8);
+        let mut faults = 0;
+        for round in 0..10 {
+            for p in 0..8u64 {
+                if !c.access(p) {
+                    faults += 1;
+                    assert_eq!(round, 0, "fault after warm-up");
+                }
+            }
+        }
+        assert_eq!(faults, 8);
+    }
+
+    #[test]
+    fn sequential_loop_larger_than_capacity_always_faults() {
+        // The classic LRU worst case: cyclic scan of capacity+1 pages.
+        let mut c = LruPageCache::new(4);
+        let mut faults = 0;
+        for _ in 0..3 {
+            for p in 0..5u64 {
+                if !c.access(p) {
+                    faults += 1;
+                }
+            }
+        }
+        assert_eq!(faults, 15);
+    }
+}

@@ -1,0 +1,26 @@
+//! A deterministic simulator of distributed graph processing over an edge
+//! partitioning — the reproduction's substitute for the paper's 32-machine
+//! Spark/GraphX cluster (§5.3, Tables 4 and 5). See DESIGN.md §2 for the
+//! substitution argument.
+//!
+//! The model is bulk-synchronous GAS over a vertex cut (PowerGraph/GraphX
+//! semantics): each partition lives on one machine; a vertex with replicas
+//! on `r` machines costs `2·(r − 1)` synchronization messages per superstep
+//! in which it is active (gather partials to the master, scatter the new
+//! state to mirrors). Per superstep, the simulated wall-clock charges the
+//! *maximum* per-machine compute (active local edges) and traffic, plus a
+//! barrier latency:
+//!
+//! ```text
+//! t_step = max_m(compute_m)·EDGE_COST + max_m(traffic_m)·MSG_COST + BARRIER
+//! ```
+//!
+//! Algorithm *results* (ranks, distances, labels) are computed exactly and
+//! verified against single-machine references in tests, so communication
+//! volumes are exact; only the three time constants are a model.
+
+pub mod algorithms;
+pub mod cluster;
+
+pub use algorithms::{bfs, connected_components, pagerank, RunCost};
+pub use cluster::{ClusterCost, DistributedGraph};

@@ -1,0 +1,56 @@
+//! Partitioning under a memory budget — the paper's headline capability
+//! (§4.4): pick the largest τ whose predicted footprint fits the machine,
+//! then partition with it.
+//!
+//! Run with: `cargo run --release --example memory_budget [budget_bytes]`
+
+use hep::core::{plan_tau, Hep};
+use hep::metrics::table::format_bytes;
+use hep::metrics::PartitionMetrics;
+
+fn main() {
+    let graph = hep::gen::dataset("TW", 1).expect("TW exists").generate();
+    let k = 32;
+    println!(
+        "TW analog: |V| = {}, |E| = {}",
+        graph.num_vertices,
+        graph.num_edges()
+    );
+
+    // Show the whole budget curve first.
+    let grid = [100.0, 30.0, 10.0, 3.0, 1.0, 0.3];
+    println!("\npredicted footprint per tau (paper §4.2 accounting, k = {k}):");
+    for &tau in &grid {
+        let bytes = hep::core::estimate_footprint_bytes(&graph, tau, k);
+        println!("  tau = {tau:>5}: {}", format_bytes(bytes));
+    }
+
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| hep::core::estimate_footprint_bytes(&graph, 10.0, k));
+    println!("\nmemory budget: {}", format_bytes(budget));
+
+    match plan_tau(&graph, k, budget, &grid).expect("grid is valid") {
+        Some(plan) => {
+            println!(
+                "planner chose tau = {} (predicted {})",
+                plan.tau,
+                format_bytes(plan.estimated_bytes)
+            );
+            let mut metrics = PartitionMetrics::new(k, graph.num_vertices);
+            let report = Hep::with_tau(plan.tau)
+                .partition_with_report(&graph, k, &mut metrics)
+                .expect("partitioning succeeds");
+            println!(
+                "result: RF {:.2}, streamed {} of {} edges, built footprint {}",
+                metrics.replication_factor(),
+                report.h2h_edges,
+                graph.num_edges(),
+                format_bytes(report.footprint_paper_bytes)
+            );
+            assert!(report.footprint_paper_bytes <= budget, "plan must hold");
+        }
+        None => println!("even the smallest tau exceeds the budget; use pure streaming (HDRF)"),
+    }
+}
