@@ -90,13 +90,7 @@ impl EdgePartitioner for Adwise {
 
 /// Recomputes the HDRF score of a specific `(edge, partition)` pair so
 /// window candidates are comparable.
-fn score_of(
-    state: &ReplicaState,
-    e: &hep_graph::Edge,
-    deg: &[u64],
-    p: u32,
-    lambda: f64,
-) -> f64 {
+fn score_of(state: &ReplicaState, e: &hep_graph::Edge, deg: &[u64], p: u32, lambda: f64) -> f64 {
     let (min_load, max_load) = state.load_extremes();
     let denom = crate::scoring::BAL_EPSILON + (max_load - min_load) as f64;
     let dsum = (deg[e.src as usize] + deg[e.dst as usize]).max(1) as f64;

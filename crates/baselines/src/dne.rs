@@ -64,34 +64,33 @@ fn expand_partition(
     let cursor = (p as u64 * n as u64 / k as u64) as u32;
     let mut probed = 0u32;
 
-    let move_to_secondary =
-        |v: VertexId,
-         core: &DenseBitset,
-         in_s: &mut DenseBitset,
-         heap: &mut IndexedMinHeap,
-         size: &mut u64,
-         out: &mut Vec<(u32, PartitionId)>| {
-            if in_s.get(v) || core.get(v) {
-                return;
+    let move_to_secondary = |v: VertexId,
+                             core: &DenseBitset,
+                             in_s: &mut DenseBitset,
+                             heap: &mut IndexedMinHeap,
+                             size: &mut u64,
+                             out: &mut Vec<(u32, PartitionId)>| {
+        if in_s.get(v) || core.get(v) {
+            return;
+        }
+        in_s.set(v);
+        let mut dext = 0u64;
+        for (u, eid) in csr.neighbors_with_eids(v) {
+            if is_claimed(claimed, eid) {
+                continue;
             }
-            in_s.set(v);
-            let mut dext = 0u64;
-            for (u, eid) in csr.neighbors_with_eids(v) {
-                if is_claimed(claimed, eid) {
-                    continue;
+            if core.get(u) || in_s.get(u) {
+                if try_claim(claimed, eid) {
+                    out.push((eid, p));
+                    *size += 1;
+                    heap.decrease_key_by(u, 1);
                 }
-                if core.get(u) || in_s.get(u) {
-                    if try_claim(claimed, eid) {
-                        out.push((eid, p));
-                        *size += 1;
-                        heap.decrease_key_by(u, 1);
-                    }
-                } else {
-                    dext += 1;
-                }
+            } else {
+                dext += 1;
             }
-            heap.insert(v, dext);
-        };
+        }
+        heap.insert(v, dext);
+    };
 
     while size < cap {
         let v = match heap.pop_min() {

@@ -160,8 +160,7 @@ impl MetisLike {
         let mut labels = vec![UNASSIGNED; n];
         let mut seed_cursor = 0usize;
         for p in 0..k {
-            let budget =
-                total * (p as u64 + 1) / k as u64 - total * p as u64 / k as u64;
+            let budget = total * (p as u64 + 1) / k as u64 - total * p as u64 / k as u64;
             let mut load = 0u64;
             let mut queue = std::collections::VecDeque::new();
             while load < budget {
@@ -381,11 +380,7 @@ mod tests {
         assert_eq!(sink.counts.iter().sum::<u64>(), 8000);
         // Degree-weighted vertex balance translates to loose edge balance.
         let ideal = 2000f64;
-        assert!(
-            sink.counts.iter().all(|&c| (c as f64) < 2.0 * ideal),
-            "{:?}",
-            sink.counts
-        );
+        assert!(sink.counts.iter().all(|&c| (c as f64) < 2.0 * ideal), "{:?}", sink.counts);
     }
 
     #[test]

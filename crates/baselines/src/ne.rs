@@ -125,12 +125,7 @@ impl<'a> NeEngine<'a> {
         sink.assign(e.src, e.dst, target);
     }
 
-    fn move_to_secondary(
-        &mut self,
-        view: &impl AdjView,
-        v: VertexId,
-        sink: &mut dyn AssignSink,
-    ) {
+    fn move_to_secondary(&mut self, view: &impl AdjView, v: VertexId, sink: &mut dyn AssignSink) {
         if self.in_s.get(v) || self.core.get(v) {
             return;
         }
@@ -335,10 +330,7 @@ mod tests {
         let sizes = got.sizes(7);
         // Balanced rounding caps: every partition within 1 of |E|/k.
         let ideal = 4000 / 7;
-        assert!(
-            sizes.iter().all(|&s| s >= ideal && s <= ideal + 1),
-            "sizes {sizes:?}"
-        );
+        assert!(sizes.iter().all(|&s| s >= ideal && s <= ideal + 1), "sizes {sizes:?}");
     }
 
     #[test]

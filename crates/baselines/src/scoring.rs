@@ -141,9 +141,7 @@ impl ReplicaState {
             Some((_, p)) => p,
             None => {
                 // All partitions at the cap: place on the least loaded one.
-                (0..self.k)
-                    .min_by_key(|&p| self.loads[p as usize])
-                    .expect("k >= 1")
+                (0..self.k).min_by_key(|&p| self.loads[p as usize]).expect("k >= 1")
             }
         }
     }

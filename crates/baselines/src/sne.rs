@@ -77,8 +77,7 @@ impl EdgePartitioner for Sne {
             return Err(GraphError::InvalidConfig("sample_factor must be positive".into()));
         }
         let m = graph.num_edges();
-        let chunk_size =
-            (((self.sample_factor * m as f64) / k as f64).ceil() as usize).max(16);
+        let chunk_size = (((self.sample_factor * m as f64) / k as f64).ceil() as usize).max(16);
         let mut engine = NeEngine::new(&graph.edges, graph.num_vertices, k, self.seed);
         let mut offset = 0usize;
         while offset < graph.edges.len() {

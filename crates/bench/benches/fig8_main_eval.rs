@@ -44,11 +44,7 @@ fn main() {
     );
     for name in ["OK", "IT", "TW", "FR", "UK", "GSH", "WDC"] {
         let g = load_dataset(name);
-        println!(
-            "--- {name}: |V|={}, |E|={} ---",
-            g.num_vertices,
-            g.num_edges()
-        );
+        println!("--- {name}: |V|={}, |E|={} ---", g.num_vertices, g.num_edges());
         for k in PAPER_KS {
             let mut t = Table::new(["partitioner", "RF", "time", "peak mem", "alpha"]);
             for mut p in roster(name) {

@@ -44,7 +44,10 @@ fn main() {
                     k.to_string(),
                     format!("{:.2}", simple_out.rf / hep_out.rf),
                     format!("{:.2}", simple_out.seconds / hep_out.seconds.max(1e-9)),
-                    format!("{:.2}", simple_out.peak_bytes as f64 / hep_out.peak_bytes.max(1) as f64),
+                    format!(
+                        "{:.2}",
+                        simple_out.peak_bytes as f64 / hep_out.peak_bytes.max(1) as f64
+                    ),
                 ]);
             }
         }

@@ -25,9 +25,8 @@ fn main() {
         "Table 3: real-world graphs (synthetic analogs)",
         "Size = binary edge list with 32-bit vertex ids; skew = max degree / mean degree.",
     );
-    let mut t = Table::new([
-        "name", "type", "|V|", "|E|", "size", "skew", "paper |V|", "paper |E|",
-    ]);
+    let mut t =
+        Table::new(["name", "type", "|V|", "|E|", "size", "skew", "paper |V|", "paper |E|"]);
     for (name, pv, pe, kind) in PAPER {
         let g = hep_bench::load_dataset(name);
         let deg = g.degrees();

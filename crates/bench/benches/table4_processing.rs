@@ -41,8 +41,7 @@ fn main() {
             let assignment = out.collected.as_ref().expect("collected");
             let dg = DistributedGraph::load(&g, assignment, k);
             let (_, pr) = pagerank(&dg, 100, &cost);
-            let seeds: Vec<u32> =
-                (0..10).map(|i| (i * 7919) % g.num_vertices).collect();
+            let seeds: Vec<u32> = (0..10).map(|i| (i * 7919) % g.num_vertices).collect();
             let bfs_cost = bfs(&dg, &seeds, &cost);
             let (_, cc) = connected_components(&dg, &cost);
             t4.row([

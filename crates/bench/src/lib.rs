@@ -27,8 +27,8 @@ pub fn load_dataset(name: &str) -> Arc<EdgeList> {
     guard
         .entry(name.to_string())
         .or_insert_with(|| {
-            let d = hep_gen::dataset(name, scale())
-                .unwrap_or_else(|| panic!("unknown dataset {name}"));
+            let d =
+                hep_gen::dataset(name, scale()).unwrap_or_else(|| panic!("unknown dataset {name}"));
             Arc::new(d.generate())
         })
         .clone()

@@ -1,0 +1,82 @@
+//! Configuration and the deterministic RNG behind the `proptest!` harness.
+
+/// Per-property configuration; only `cases` is honored by this stand-in.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// SplitMix64 stream seeded from the test name (and `PROPTEST_SEED` if set),
+/// so every run of a given property draws identical inputs.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        let mut state = base;
+        for b in name.bytes() {
+            state = (state ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { state }
+    }
+
+    /// Snapshot of the stream position, for deterministic replay.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// A stream resumed from a [`TestRng::state`] snapshot.
+    pub fn from_state(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire-style multiply-shift; bias is irrelevant for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+thread_local! {
+    static DISCARDED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Flags the current case as discarded; called by `prop_assume!`.
+pub fn mark_discarded() {
+    DISCARDED.with(|d| d.set(true));
+}
+
+/// Reads and clears the discard flag; called by the harness after each case.
+pub fn take_discarded() -> bool {
+    DISCARDED.with(|d| d.replace(false))
+}

@@ -121,9 +121,8 @@ impl Hep {
         let (seed_sets, seed_sizes) = if informed {
             (nepp.s_sets, nepp.sizes)
         } else {
-            let empty = (0..k)
-                .map(|_| hep_ds::DenseBitset::new(graph.num_vertices as usize))
-                .collect();
+            let empty =
+                (0..k).map(|_| hep_ds::DenseBitset::new(graph.num_vertices as usize)).collect();
             (empty, vec![0; k as usize])
         };
         let state = stream_h2h(
@@ -140,9 +139,7 @@ impl Hep {
             return Err(err);
         }
         let partition_sizes = (0..k)
-            .map(|p| {
-                state.load(p) + if informed { 0 } else { ne_sizes[p as usize] }
-            })
+            .map(|p| state.load(p) + if informed { 0 } else { ne_sizes[p as usize] })
             .collect();
         Ok(HepRunReport {
             nepp: nepp.stats,
@@ -255,10 +252,7 @@ mod tests {
             parts.iter().map(|s| s.len()).sum::<usize>() as f64 / covered as f64
         };
         let (rf100, rf1) = (rf(100.0), rf(1.0));
-        assert!(
-            rf100 <= rf1 * 1.05,
-            "HEP-100 rf {rf100} should not exceed HEP-1 rf {rf1}"
-        );
+        assert!(rf100 <= rf1 * 1.05, "HEP-100 rf {rf100} should not exceed HEP-1 rf {rf1}");
     }
 
     #[test]

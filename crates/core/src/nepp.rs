@@ -378,8 +378,7 @@ impl<'a, S: AssignSink + ?Sized> Nepp<'a, S> {
         // Activate pending endpoints whose edge landed on this partition;
         // entries for later partitions (cascaded spills) stay queued.
         let pending = std::mem::take(&mut self.pending);
-        let (now, later): (Vec<_>, Vec<_>) =
-            pending.into_iter().partition(|&(_, t)| t == self.cur);
+        let (now, later): (Vec<_>, Vec<_>) = pending.into_iter().partition(|&(_, t)| t == self.cur);
         self.pending = later;
         // High-degree endpoints first (bitset only), so that the low-degree
         // activations below see them and assign pending low–high edges.
@@ -437,8 +436,7 @@ impl<'a, S: AssignSink + ?Sized> Nepp<'a, S> {
         // Algorithm 3 lines 10–11: advance once the bound is reached (only
         // meaningful if expansion ended early; normally `cur` is already the
         // final partition and absorbs the remainder).
-        while self.sizes[self.cur as usize] >= self.caps[self.cur as usize]
-            && self.cur + 1 < self.k
+        while self.sizes[self.cur as usize] >= self.caps[self.cur as usize] && self.cur + 1 < self.k
         {
             self.cur += 1;
         }
@@ -474,12 +472,7 @@ impl<'a, S: AssignSink + ?Sized> Nepp<'a, S> {
                 self.stats.secondary_only_degree_sum += self.csr.stats().degree(v) as u64;
             }
         }
-        NeppResult {
-            s_sets: self.s_sets,
-            sizes: self.sizes,
-            stats: self.stats,
-            trace: self.trace,
-        }
+        NeppResult { s_sets: self.s_sets, sizes: self.sizes, stats: self.stats, trace: self.trace }
     }
 }
 
@@ -513,8 +506,17 @@ mod tests {
     fn figure3_example_partition() {
         // The 9-vertex example of Figure 3/4, all-low (large tau).
         let g = EdgeList::from_pairs([
-            (0, 5), (0, 7), (1, 4), (1, 5), (2, 4), (3, 4), (4, 5), (5, 7),
-            (5, 8), (6, 8), (7, 8),
+            (0, 5),
+            (0, 7),
+            (1, 4),
+            (1, 5),
+            (2, 4),
+            (3, 4),
+            (4, 5),
+            (5, 7),
+            (5, 8),
+            (6, 8),
+            (7, 8),
         ]);
         let (sink, result, h2h) = run(&g, 2, 1e9);
         assert!(h2h.is_empty());
@@ -528,8 +530,17 @@ mod tests {
     fn figure4_pruned_partition() {
         // Same graph at tau=1.5: v4, v5 high; edge (4,5) goes to h2h.
         let g = EdgeList::from_pairs([
-            (0, 5), (0, 7), (1, 4), (1, 5), (2, 4), (3, 4), (4, 5), (5, 7),
-            (5, 8), (6, 8), (7, 8),
+            (0, 5),
+            (0, 7),
+            (1, 4),
+            (1, 5),
+            (2, 4),
+            (3, 4),
+            (4, 5),
+            (5, 7),
+            (5, 8),
+            (6, 8),
+            (7, 8),
         ]);
         let (sink, result, h2h) = run(&g, 2, 1.5);
         assert_eq!(h2h, vec![Edge::new(4, 5)]);

@@ -24,11 +24,8 @@ pub struct TauPlan {
 pub fn estimate_footprint_bytes(graph: &EdgeList, tau: f64, k: u32) -> u64 {
     let degrees = graph.degrees();
     let threshold = tau * graph.mean_degree();
-    let column_entries: u64 = degrees
-        .iter()
-        .filter(|&&d| d as f64 <= threshold)
-        .map(|&d| d as u64)
-        .sum();
+    let column_entries: u64 =
+        degrees.iter().filter(|&&d| d as f64 <= threshold).map(|&d| d as u64).sum();
     footprint_from_entries(column_entries, graph.num_vertices as u64, k)
 }
 

@@ -130,10 +130,7 @@ mod tests {
         let mut simple_sink = CollectedAssignment::default();
         SimpleHybrid::with_tau(1.0).partition(&g, 16, &mut simple_sink).unwrap();
         let (hep_rf, simple_rf) = (rf(&hep_sink.assignments), rf(&simple_sink.assignments));
-        assert!(
-            hep_rf < simple_rf,
-            "HEP rf {hep_rf} should beat simple hybrid rf {simple_rf}"
-        );
+        assert!(hep_rf < simple_rf, "HEP rf {hep_rf} should beat simple hybrid rf {simple_rf}");
     }
 
     #[test]

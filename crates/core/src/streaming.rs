@@ -95,7 +95,8 @@ mod tests {
         let degrees = vec![1u32; 4];
         let h2h = vec![Edge::new(0, 1)];
         let mut sink = CollectedAssignment::default();
-        let state = stream_h2h(h2h.iter().copied(), &degrees, s_sets, sizes, 10, 1.1, 1.05, &mut sink);
+        let state =
+            stream_h2h(h2h.iter().copied(), &degrees, s_sets, sizes, 10, 1.1, 1.05, &mut sink);
         let p = sink.assignments[0].1;
         assert!(state.is_replicated(0, p) && state.is_replicated(1, p));
         assert_eq!(state.load(p), 1);

@@ -14,10 +14,7 @@ pub struct DenseBitset {
 impl DenseBitset {
     /// Creates a bitset able to hold indices `0..capacity`, all clear.
     pub fn new(capacity: usize) -> Self {
-        DenseBitset {
-            words: vec![0u64; capacity.div_ceil(64)],
-            capacity,
-        }
+        DenseBitset { words: vec![0u64; capacity.div_ceil(64)], capacity }
     }
 
     /// Number of indices this bitset can hold.
@@ -89,11 +86,7 @@ impl DenseBitset {
 
     /// Number of set bits in `self & other` (replica-set intersections).
     pub fn intersection_count(&self, other: &DenseBitset) -> usize {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// In-place union with `other`. Capacities must match.

@@ -20,10 +20,7 @@ pub struct IndexedMinHeap {
 impl IndexedMinHeap {
     /// Creates a heap able to hold ids `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        IndexedMinHeap {
-            slots: Vec::new(),
-            pos: vec![NOT_IN_HEAP; capacity],
-        }
+        IndexedMinHeap { slots: Vec::new(), pos: vec![NOT_IN_HEAP; capacity] }
     }
 
     /// Number of elements currently in the heap.
@@ -169,11 +166,8 @@ impl IndexedMinHeap {
                 break;
             }
             let r = l + 1;
-            let smallest_child = if r < n && Self::less(self.slots[r], self.slots[l]) {
-                r
-            } else {
-                l
-            };
+            let smallest_child =
+                if r < n && Self::less(self.slots[r], self.slots[l]) { r } else { l };
             if Self::less(self.slots[smallest_child], self.slots[i]) {
                 self.swap_slots(i, smallest_child);
                 i = smallest_child;

@@ -122,11 +122,8 @@ mod tests {
         // Communities are contiguous id ranges, so intra-community edges have
         // small |u - v|; verify locality dominates.
         let g = gen(20_000, 100_000, 2);
-        let short = g
-            .edges
-            .iter()
-            .filter(|e| (e.src as i64 - e.dst as i64).unsigned_abs() < 512)
-            .count();
+        let short =
+            g.edges.iter().filter(|e| (e.src as i64 - e.dst as i64).unsigned_abs() < 512).count();
         assert!(
             short as f64 > 0.8 * g.edges.len() as f64,
             "only {short}/{} edges are local",

@@ -168,18 +168,12 @@ pub fn datasets_main(scale: u32) -> Vec<Dataset> {
 
 /// The very large graphs where the paper only runs HEP, HDRF and DBH.
 pub fn datasets_large(scale: u32) -> Vec<Dataset> {
-    ["GSH", "WDC"]
-        .iter()
-        .map(|n| dataset(n, scale).expect("known dataset"))
-        .collect()
+    ["GSH", "WDC"].iter().map(|n| dataset(n, scale).expect("known dataset")).collect()
 }
 
 /// The small graphs used by Figures 2, 5 and 7 in addition to the main set.
 pub fn datasets_small(scale: u32) -> Vec<Dataset> {
-    ["LJ", "OK", "BR", "WI"]
-        .iter()
-        .map(|n| dataset(n, scale).expect("known dataset"))
-        .collect()
+    ["LJ", "OK", "BR", "WI"].iter().map(|n| dataset(n, scale).expect("known dataset")).collect()
 }
 
 /// All ten Table 3 analogs.
@@ -235,9 +229,8 @@ mod tests {
         // TW (γ=2.0) must have a heavier hub than FR (γ=2.6).
         let tw = dataset("TW", 1).unwrap().generate();
         let fr = dataset("FR", 1).unwrap().generate();
-        let hub = |g: &hep_graph::EdgeList| {
-            *g.degrees().iter().max().unwrap() as f64 / g.mean_degree()
-        };
+        let hub =
+            |g: &hep_graph::EdgeList| *g.degrees().iter().max().unwrap() as f64 / g.mean_degree();
         assert!(hub(&tw) > hub(&fr), "tw {} fr {}", hub(&tw), hub(&fr));
     }
 

@@ -23,8 +23,8 @@ pub mod community;
 pub mod datasets;
 pub mod er;
 pub mod rmat;
-pub mod special;
 pub mod spec;
+pub mod special;
 
 pub use datasets::{dataset, datasets_main, datasets_small, Dataset};
 pub use spec::GraphSpec;

@@ -24,10 +24,7 @@ impl Csr {
     /// Builds the CSR in two passes over the edge list (paper §4.1 "Graph
     /// Building": degree counting pass, then insertion pass).
     pub fn build(graph: &EdgeList) -> Self {
-        assert!(
-            graph.edges.len() < u32::MAX as usize,
-            "edge ids are u32; graph too large"
-        );
+        assert!(graph.edges.len() < u32::MAX as usize, "edge ids are u32; graph too large");
         let n = graph.num_vertices as usize;
         let mut deg = vec![0u64; n + 1];
         for e in &graph.edges {

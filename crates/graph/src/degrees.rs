@@ -140,8 +140,17 @@ mod tests {
         // Figure 4: 9 vertices, 11 undirected edges, mean degree 2.4(4);
         // with tau = 1.5 vertices of degree >= 4 are high (v4, v5).
         let g = EdgeList::from_pairs([
-            (0, 5), (0, 7), (1, 4), (2, 5), (3, 4), (4, 1), (4, 3), (4, 5),
-            (5, 8), (6, 5), (7, 8),
+            (0, 5),
+            (0, 7),
+            (1, 4),
+            (2, 5),
+            (3, 4),
+            (4, 1),
+            (4, 3),
+            (4, 5),
+            (5, 8),
+            (6, 5),
+            (7, 8),
         ]);
         // Re-derive: ensure the example's degrees match the figure.
         let s = DegreeStats::new(&g, 1.5);

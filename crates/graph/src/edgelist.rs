@@ -24,11 +24,7 @@ impl EdgeList {
     /// `max(id) + 1`.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
         let edges: Vec<Edge> = pairs.into_iter().map(Edge::from).collect();
-        let num_vertices = edges
-            .iter()
-            .map(|e| e.src.max(e.dst) + 1)
-            .max()
-            .unwrap_or(0);
+        let num_vertices = edges.iter().map(|e| e.src.max(e.dst) + 1).max().unwrap_or(0);
         EdgeList { num_vertices, edges }
     }
 
@@ -247,10 +243,8 @@ mod tests {
         let el = EdgeList::from_pairs([(0, 1), (7, 3), (5, 5)]);
         let p = tmp("stream");
         el.write_binary(&p).unwrap();
-        let edges: Vec<Edge> = EdgeList::stream_binary(&p)
-            .unwrap()
-            .collect::<Result<_, _>>()
-            .unwrap();
+        let edges: Vec<Edge> =
+            EdgeList::stream_binary(&p).unwrap().collect::<Result<_, _>>().unwrap();
         std::fs::remove_file(&p).ok();
         assert_eq!(edges, el.edges);
     }

@@ -250,9 +250,7 @@ impl PrunedCsr {
 
     /// Remaining valid column entries (shrinks as edges are removed).
     pub fn valid_column_entries(&self) -> u64 {
-        (0..self.num_vertices())
-            .map(|v| self.valid_degree(v) as u64)
-            .sum()
+        (0..self.num_vertices()).map(|v| self.valid_degree(v) as u64).sum()
     }
 
     /// The paper's §4.2 memory accounting with `b_id = 4`, in bytes:
@@ -284,8 +282,17 @@ mod tests {
     /// The 9-vertex, 11-edge example of Figures 3 and 4.
     fn figure4_graph() -> EdgeList {
         EdgeList::from_pairs([
-            (0, 5), (0, 7), (1, 4), (1, 5), (2, 4), (3, 4), (4, 5), (5, 7),
-            (5, 8), (6, 8), (7, 8),
+            (0, 5),
+            (0, 7),
+            (1, 4),
+            (1, 5),
+            (2, 4),
+            (3, 4),
+            (4, 5),
+            (5, 7),
+            (5, 8),
+            (6, 8),
+            (7, 8),
         ])
     }
 

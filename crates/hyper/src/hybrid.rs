@@ -156,9 +156,7 @@ impl HybridHyper {
         // Remainder (capacity rounding): least-loaded placement.
         for &e in inmem {
             if !assigned.get(e) {
-                let p = (0..k)
-                    .min_by_key(|&p| state.loads[p as usize])
-                    .expect("k >= 1");
+                let p = (0..k).min_by_key(|&p| state.loads[p as usize]).expect("k >= 1");
                 let pins = &h.hyperedges[e as usize];
                 state.assign(pins, p);
                 metrics.assign(pins, p);

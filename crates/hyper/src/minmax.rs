@@ -43,8 +43,7 @@ impl HyperReplicaState {
             if self.loads[p as usize] >= cap {
                 continue;
             }
-            let overlap =
-                pins.iter().filter(|&&v| self.replicas[p as usize].get(v)).count() as i64;
+            let overlap = pins.iter().filter(|&&v| self.replicas[p as usize].get(v)).count() as i64;
             let cand = (-overlap, self.loads[p as usize], p);
             if best.map_or(true, |b| cand < b) {
                 best = Some(cand);

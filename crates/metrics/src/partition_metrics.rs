@@ -200,10 +200,8 @@ mod tests {
         let mut metrics = PartitionMetrics::new(4, g.num_vertices);
         let mut collected = hep_graph::partitioner::CollectedAssignment::default();
         {
-            let mut tee = hep_graph::partitioner::TeeSink {
-                first: &mut metrics,
-                second: &mut collected,
-            };
+            let mut tee =
+                hep_graph::partitioner::TeeSink { first: &mut metrics, second: &mut collected };
             hep_baselines::Hdrf::default().partition(&g, 4, &mut tee).unwrap();
         }
         // Brute-force RF from the collected assignment.

@@ -21,13 +21,7 @@ impl Table {
 
     /// Renders the table with a separator under the header.
     pub fn render(&self) -> String {
-        let cols = self
-            .rows
-            .iter()
-            .map(|r| r.len())
-            .chain([self.headers.len()])
-            .max()
-            .unwrap_or(0);
+        let cols = self.rows.iter().map(|r| r.len()).chain([self.headers.len()]).max().unwrap_or(0);
         let mut widths = vec![0usize; cols];
         let measure = |widths: &mut Vec<usize>, row: &[String]| {
             for (i, c) in row.iter().enumerate() {

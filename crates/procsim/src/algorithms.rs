@@ -21,9 +21,8 @@ impl RunCost {
         let (compute, traffic, msgs) = dg.superstep_cost(active.iter().copied());
         self.supersteps += 1;
         self.total_msgs += msgs;
-        self.sim_seconds += compute as f64 * cost.edge_cost
-            + traffic as f64 * cost.msg_cost
-            + cost.barrier;
+        self.sim_seconds +=
+            compute as f64 * cost.edge_cost + traffic as f64 * cost.msg_cost + cost.barrier;
     }
 
     fn merge(&mut self, other: RunCost) {
@@ -74,7 +73,11 @@ pub fn pagerank(dg: &DistributedGraph, iterations: u32, cost: &ClusterCost) -> (
 
 /// BFS from one seed. Active set per superstep is the frontier. Returns
 /// hop distances (`u32::MAX` when unreachable) and the simulated cost.
-pub fn bfs_single(dg: &DistributedGraph, seed: VertexId, cost: &ClusterCost) -> (Vec<u32>, RunCost) {
+pub fn bfs_single(
+    dg: &DistributedGraph,
+    seed: VertexId,
+    cost: &ClusterCost,
+) -> (Vec<u32>, RunCost) {
     let n = dg.num_vertices() as usize;
     let mut dist = vec![u32::MAX; n];
     dist[seed as usize] = 0;
@@ -157,12 +160,8 @@ mod tests {
         let deg = graph.degrees();
         let mut rank = vec![1.0 / n as f64; n];
         for _ in 0..iterations {
-            let dangling: f64 = rank
-                .iter()
-                .zip(deg.iter())
-                .filter(|(_, &d)| d == 0)
-                .map(|(r, _)| r)
-                .sum();
+            let dangling: f64 =
+                rank.iter().zip(deg.iter()).filter(|(_, &d)| d == 0).map(|(r, _)| r).sum();
             let base = 0.15 / n as f64 + 0.85 * dangling / n as f64;
             let mut next = vec![base; n];
             for e in &graph.edges {

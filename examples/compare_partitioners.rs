@@ -18,11 +18,7 @@ fn main() {
             std::process::exit(1);
         })
         .generate();
-    println!(
-        "{name} analog: |V| = {}, |E| = {}; k = {k}\n",
-        graph.num_vertices,
-        graph.num_edges()
-    );
+    println!("{name} analog: |V| = {}, |E| = {}; k = {k}\n", graph.num_vertices, graph.num_edges());
 
     let mut partitioners: Vec<Box<dyn EdgePartitioner>> = vec![
         Box::new(hep::core::Hep::with_tau(100.0)),

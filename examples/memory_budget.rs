@@ -11,11 +11,7 @@ use hep::metrics::PartitionMetrics;
 fn main() {
     let graph = hep::gen::dataset("TW", 1).expect("TW exists").generate();
     let k = 32;
-    println!(
-        "TW analog: |V| = {}, |E| = {}",
-        graph.num_vertices,
-        graph.num_edges()
-    );
+    println!("TW analog: |V| = {}, |E| = {}", graph.num_vertices, graph.num_edges());
 
     // Show the whole budget curve first.
     let grid = [100.0, 30.0, 10.0, 3.0, 1.0, 0.3];

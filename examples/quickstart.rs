@@ -23,9 +23,8 @@ fn main() {
     for tau in [100.0, 10.0, 1.0] {
         let hep = Hep::with_tau(tau);
         let mut metrics = PartitionMetrics::new(k, graph.num_vertices);
-        let report = hep
-            .partition_with_report(&graph, k, &mut metrics)
-            .expect("partitioning succeeds");
+        let report =
+            hep.partition_with_report(&graph, k, &mut metrics).expect("partitioning succeeds");
         table.row([
             format!("{tau}"),
             format!("{:.2}", metrics.replication_factor()),

@@ -42,12 +42,15 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results of every table and figure.
 
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub use hep_baselines as baselines;
 pub use hep_core as core;
 pub use hep_ds as ds;
 pub use hep_gen as gen;
-pub use hep_hyper as hyper;
 pub use hep_graph as graph;
+pub use hep_hyper as hyper;
 pub use hep_metrics as metrics;
 pub use hep_pagesim as pagesim;
 pub use hep_procsim as procsim;

@@ -73,10 +73,7 @@ fn graph_io_rejects_malformed_files() {
     let mut p = std::env::temp_dir();
     p.push(format!("hep_failure_{}.bin", std::process::id()));
     std::fs::write(&p, [1u8, 2, 3, 4, 5]).unwrap();
-    assert!(matches!(
-        EdgeList::read_binary(&p),
-        Err(GraphError::TruncatedBinary { bytes: 5 })
-    ));
+    assert!(matches!(EdgeList::read_binary(&p), Err(GraphError::TruncatedBinary { bytes: 5 })));
     std::fs::write(&p, "1 2\nbroken line\n").unwrap();
     assert!(matches!(EdgeList::read_text(&p), Err(GraphError::Parse { line: 2, .. })));
     std::fs::remove_file(&p).ok();
@@ -114,8 +111,7 @@ fn isolated_vertices_are_tolerated_everywhere() {
     let g = EdgeList::with_vertices(100, [(0, 1), (1, 2), (2, 3)]).unwrap();
     for mut p in all_partitioners() {
         let mut sink = CollectedAssignment::default();
-        p.partition(&g, 2, &mut sink)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
+        p.partition(&g, 2, &mut sink).unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
         assert_eq!(sink.assignments.len(), 3, "{}", p.name());
         sink.assignments.clear();
     }

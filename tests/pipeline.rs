@@ -23,10 +23,8 @@ fn file_roundtrip_then_partition_then_process() {
     let mut metrics = PartitionMetrics::new(k, loaded.num_vertices);
     let mut collected = CollectedAssignment::default();
     {
-        let mut tee = hep::graph::partitioner::TeeSink {
-            first: &mut metrics,
-            second: &mut collected,
-        };
+        let mut tee =
+            hep::graph::partitioner::TeeSink { first: &mut metrics, second: &mut collected };
         hep::core::Hep::with_tau(10.0).partition(&loaded, k, &mut tee).expect("partition");
     }
     hep::metrics::validate_assignment(&loaded, &collected, k).expect("valid partitioning");

@@ -31,8 +31,7 @@ fn all_partitioners() -> Vec<Box<dyn EdgePartitioner>> {
 fn check_all(graph: &EdgeList, k: u32) {
     for mut p in all_partitioners() {
         let mut sink = CollectedAssignment::default();
-        p.partition(graph, k, &mut sink)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
+        p.partition(graph, k, &mut sink).unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
         if let Err(msg) = validate_assignment(graph, &sink, k) {
             panic!("{} invalid on k={k}: {msg}", p.name());
         }
@@ -80,12 +79,8 @@ fn valid_with_more_partitions_than_edges() {
 
 #[test]
 fn valid_on_rmat() {
-    let g = GraphSpec::Rmat {
-        scale: 10,
-        m: 5000,
-        params: hep::gen::rmat::RmatParams::graph500(),
-    }
-    .generate(4);
+    let g = GraphSpec::Rmat { scale: 10, m: 5000, params: hep::gen::rmat::RmatParams::graph500() }
+        .generate(4);
     check_all(&g, 7);
 }
 

@@ -1,0 +1,66 @@
+//! Facade wiring smoke test: every partitioner the workspace ships must be
+//! constructible through `hep::prelude::*` and runnable through the
+//! `EdgePartitioner` object interface. Catches re-export regressions (a
+//! renamed type, a dropped `pub use`, a facade module that stops compiling)
+//! before anything subtler does.
+
+use hep::prelude::*;
+
+/// A graph small enough that even quadratic baselines finish instantly.
+fn tiny_graph() -> EdgeList {
+    hep::gen::GraphSpec::ChungLu { n: 200, m: 800, gamma: 2.2 }.generate(11)
+}
+
+#[test]
+fn every_partitioner_is_constructible_and_runs_via_prelude() {
+    let graph = tiny_graph();
+    let k = 4;
+    let partitioners: Vec<(&str, Box<dyn EdgePartitioner>)> = vec![
+        ("HEP", Box::new(Hep::with_tau(10.0))),
+        ("HEP(config)", Box::new(Hep { config: HepConfig::default() })),
+        ("SimpleHybrid", Box::new(SimpleHybrid::with_tau(10.0))),
+        ("NE", Box::new(Ne::default())),
+        ("SNE", Box::new(Sne::default())),
+        ("HDRF", Box::new(Hdrf::default())),
+        ("Greedy", Box::new(Greedy::default())),
+        ("ADWISE", Box::new(Adwise::default())),
+        ("DBH", Box::new(Dbh::default())),
+        ("Grid", Box::new(Grid::default())),
+        ("DNE", Box::new(Dne::default())),
+        ("METIS-like", Box::new(MetisLike::default())),
+        ("Random", Box::new(RandomStreaming::default())),
+    ];
+    for (name, mut p) in partitioners {
+        let mut metrics = PartitionMetrics::new(k, graph.num_vertices);
+        p.partition(&graph, k, &mut metrics)
+            .unwrap_or_else(|e| panic!("{name} failed on the smoke graph: {e}"));
+        let rf = metrics.replication_factor();
+        assert!(rf >= 1.0, "{name}: replication factor {rf} < 1");
+    }
+}
+
+#[test]
+fn facade_modules_resolve() {
+    // One load-bearing symbol per re-exported crate, so a broken module
+    // alias fails here by name.
+    let _ = hep::ds::SplitMix64::new(1);
+    let _ = hep::graph::EdgeList::from_pairs([(0, 1)]);
+    let _ = hep::gen::GraphSpec::ChungLu { n: 4, m: 4, gamma: 2.0 };
+    let _ = hep::metrics::Table::new(["a"]);
+    let _ = hep::core::HepConfig::default();
+    let _ = hep::baselines::standard_baselines();
+    let _ = hep::procsim::ClusterCost::default();
+    let _ = hep::pagesim::LruPageCache::new(16);
+    let _ = hep::hyper::power_law_hypergraph(50, 100, 3, 5);
+    let _: fn(&str) -> Option<hep::gen::Dataset> = |n| hep::gen::dataset(n, 1);
+}
+
+#[test]
+fn error_type_is_exported_and_matchable() {
+    let graph = tiny_graph();
+    let mut metrics = PartitionMetrics::new(0, graph.num_vertices);
+    match Hep::with_tau(10.0).partition(&graph, 0, &mut metrics) {
+        Err(GraphError::InvalidPartitionCount { k: 0 }) => {}
+        other => panic!("expected InvalidPartitionCount for k = 0, got {other:?}"),
+    }
+}
