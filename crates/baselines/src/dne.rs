@@ -1,26 +1,34 @@
 //! DNE: distributed neighbourhood expansion (Hanai et al., VLDB'19 [30]).
 //!
 //! DNE grows all `k` partitions *concurrently*, each claiming edges from a
-//! shared pool. We reproduce it with one OS thread per group of partitions
-//! and an atomic per-edge claim bitmap. The paper's two observations about
-//! DNE fall out of this structure naturally: memory overhead an order of
-//! magnitude above HEP's (every worker keeps its own frontier state over the
-//! full vertex range), and replication-factor degradation caused by
-//! expansions racing for the same regions.
+//! shared pool. We reproduce it as a bulk-synchronous sequence of expansion
+//! rounds on the `hep-par` pool: every round, each partition expands from
+//! its saved frontier state against a **frozen snapshot** of the global
+//! claim table, proposing a bounded batch of edges; a serial merge then
+//! grants proposals in partition order (lowest partition id wins a
+//! conflict) before the next round starts. The paper's two observations
+//! about DNE fall out of this structure naturally: memory overhead an
+//! order of magnitude above HEP's (every partition keeps frontier state
+//! over the full vertex range), and replication-factor degradation caused
+//! by expansions racing for the same regions — the round-level conflicts
+//! are exactly those races.
 //!
-//! Results are intentionally **not** deterministic across runs (thread
-//! interleaving decides races), matching the distributed original; tests
-//! assert structural invariants only.
+//! Unlike the distributed original (and an earlier version of this module,
+//! which let OS-thread interleaving decide claim races), the result is
+//! **deterministic and bit-identical at any thread count**: each round's
+//! proposals depend only on the round-start snapshot and per-partition
+//! state, and the merge order is fixed. The workspace-wide determinism
+//! invariant (DESIGN.md §4) therefore holds for DNE too.
 
-use hep_ds::{DenseBitset, IndexedMinHeap};
+use hep_ds::{DenseBitset, FxHashSet, IndexedMinHeap};
 use hep_graph::partitioner::check_inputs;
 use hep_graph::{AssignSink, Csr, EdgeList, EdgePartitioner, GraphError, PartitionId, VertexId};
-use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Parallel neighbourhood expansion.
+/// Bulk-synchronous parallel neighbourhood expansion.
 #[derive(Clone, Debug)]
 pub struct Dne {
-    /// Worker threads (0 = one per available core, capped at 16).
+    /// Worker threads for the expansion rounds (0 = the `hep-par` pool's
+    /// configured count). Results do not depend on this value.
     pub threads: usize,
     /// Per-partition capacity factor (the paper configures 1.05).
     pub balance: f64,
@@ -32,106 +40,137 @@ impl Default for Dne {
     }
 }
 
-/// Atomically claims edge `eid`; true when this caller won the race.
-fn try_claim(claimed: &[AtomicU64], eid: u32) -> bool {
-    let mask = 1u64 << (eid & 63);
-    let prev = claimed[(eid >> 6) as usize].fetch_or(mask, Ordering::AcqRel);
-    prev & mask == 0
+/// Resumable per-partition expansion state, carried across rounds.
+struct Expansion {
+    /// Vertices whose entire unclaimed neighbourhood this partition owns.
+    core: DenseBitset,
+    /// Secondary set: vertices adjacent to the core.
+    in_s: DenseBitset,
+    /// Frontier ordered by external degree (arg-min expansion).
+    heap: IndexedMinHeap,
+    /// Edges granted to this partition so far.
+    size: u64,
+    /// Vertices probed by the seed scan (monotone: a vertex found
+    /// unsuitable can never become suitable again, claims only grow).
+    probed: u32,
+    /// Seed-scan start, staggered so expansions begin in distinct regions.
+    cursor: u32,
+    /// Set when the heap and the seed scan are both exhausted.
+    done: bool,
 }
 
-fn is_claimed(claimed: &[AtomicU64], eid: u32) -> bool {
-    claimed[(eid >> 6) as usize].load(Ordering::Acquire) & (1u64 << (eid & 63)) != 0
-}
+impl Expansion {
+    fn new(p: PartitionId, k: u32, n: u32) -> Self {
+        Expansion {
+            core: DenseBitset::new(n as usize),
+            in_s: DenseBitset::new(n as usize),
+            heap: IndexedMinHeap::new(n as usize),
+            size: 0,
+            probed: 0,
+            cursor: (p as u64 * n as u64 / k as u64) as u32,
+            done: false,
+        }
+    }
 
-/// Sequential expansion of one partition over the shared claim bitmap.
-fn expand_partition(
-    p: PartitionId,
-    k: u32,
-    csr: &Csr,
-    claimed: &[AtomicU64],
-    cap: u64,
-    out: &mut Vec<(u32, PartitionId)>,
-) {
-    let n = csr.num_vertices();
-    let mut core = DenseBitset::new(n as usize);
-    let mut in_s = DenseBitset::new(n as usize);
-    let mut heap = IndexedMinHeap::new(n as usize);
-    let mut size = 0u64;
-    // Seeds start in this partition's slice of the id space, so concurrent
-    // expansions begin in different regions. The cyclic scan position is
-    // monotone: a vertex found unsuitable can never become suitable again
-    // (claims only grow), so each is probed at most once.
-    let cursor = (p as u64 * n as u64 / k as u64) as u32;
-    let mut probed = 0u32;
+    /// Expands until `batch` new edges are proposed, the capacity is
+    /// reached, or nothing claimable remains. Proposals are tentative: the
+    /// caller's merge may reject some (another partition won the edge this
+    /// round), compensating via [`Expansion::size`].
+    fn expand_round(
+        &mut self,
+        csr: &Csr,
+        claimed: &DenseBitset,
+        cap: u64,
+        batch: usize,
+    ) -> Vec<u32> {
+        let n = csr.num_vertices();
+        let mut proposals: Vec<u32> = Vec::new();
+        // This round's own tentative claims, layered over the snapshot.
+        let mut overlay: FxHashSet<u32> = FxHashSet::default();
+        let is_claimed =
+            |overlay: &FxHashSet<u32>, eid: u32| claimed.get(eid) || overlay.contains(&eid);
 
-    let move_to_secondary = |v: VertexId,
-                             core: &DenseBitset,
-                             in_s: &mut DenseBitset,
-                             heap: &mut IndexedMinHeap,
-                             size: &mut u64,
-                             out: &mut Vec<(u32, PartitionId)>| {
-        if in_s.get(v) || core.get(v) {
+        while self.size < cap && proposals.len() < batch {
+            let v = match self.heap.pop_min() {
+                Some((_, v)) => v,
+                None => {
+                    // Seed scan: first vertex (from the cursor) not yet
+                    // local with an unclaimed incident edge.
+                    let mut found = None;
+                    while self.probed < n {
+                        let v = (self.cursor.wrapping_add(self.probed)) % n;
+                        self.probed += 1;
+                        if self.core.get(v) || self.in_s.get(v) {
+                            continue;
+                        }
+                        if csr.neighbors_with_eids(v).any(|(_, eid)| !is_claimed(&overlay, eid)) {
+                            found = Some(v);
+                            break;
+                        }
+                    }
+                    match found {
+                        Some(v) => {
+                            self.move_to_secondary(v, csr, claimed, &mut overlay, &mut proposals);
+                            match self.heap.pop_min() {
+                                Some((_, v)) => v,
+                                None => {
+                                    self.done = true;
+                                    break;
+                                }
+                            }
+                        }
+                        None => {
+                            // Nothing left to claim anywhere.
+                            self.done = true;
+                            break;
+                        }
+                    }
+                }
+            };
+            self.core.set(v);
+            let mut externals: Vec<VertexId> = Vec::new();
+            for (u, eid) in csr.neighbors_with_eids(v) {
+                if !is_claimed(&overlay, eid) && !self.core.get(u) && !self.in_s.get(u) {
+                    externals.push(u);
+                }
+            }
+            for u in externals {
+                self.move_to_secondary(u, csr, claimed, &mut overlay, &mut proposals);
+            }
+        }
+        proposals
+    }
+
+    /// Moves `v` into the secondary set, proposing every edge from `v` into
+    /// the current local set and inserting `v` into the frontier heap with
+    /// its external degree.
+    fn move_to_secondary(
+        &mut self,
+        v: VertexId,
+        csr: &Csr,
+        claimed: &DenseBitset,
+        overlay: &mut FxHashSet<u32>,
+        proposals: &mut Vec<u32>,
+    ) {
+        if self.in_s.get(v) || self.core.get(v) {
             return;
         }
-        in_s.set(v);
+        self.in_s.set(v);
         let mut dext = 0u64;
         for (u, eid) in csr.neighbors_with_eids(v) {
-            if is_claimed(claimed, eid) {
+            if claimed.get(eid) || overlay.contains(&eid) {
                 continue;
             }
-            if core.get(u) || in_s.get(u) {
-                if try_claim(claimed, eid) {
-                    out.push((eid, p));
-                    *size += 1;
-                    heap.decrease_key_by(u, 1);
-                }
+            if self.core.get(u) || self.in_s.get(u) {
+                overlay.insert(eid);
+                proposals.push(eid);
+                self.size += 1;
+                self.heap.decrease_key_by(u, 1);
             } else {
                 dext += 1;
             }
         }
-        heap.insert(v, dext);
-    };
-
-    while size < cap {
-        let v = match heap.pop_min() {
-            Some((_, v)) => v,
-            None => {
-                // Seed scan: first vertex (from the cursor) not yet local
-                // with an unclaimed incident edge.
-                let mut found = None;
-                while probed < n {
-                    let v = (cursor + probed) % n;
-                    probed += 1;
-                    if core.get(v) || in_s.get(v) {
-                        continue;
-                    }
-                    if csr.neighbors_with_eids(v).any(|(_, eid)| !is_claimed(claimed, eid)) {
-                        found = Some(v);
-                        break;
-                    }
-                }
-                match found {
-                    Some(v) => {
-                        move_to_secondary(v, &core, &mut in_s, &mut heap, &mut size, out);
-                        match heap.pop_min() {
-                            Some((_, v)) => v,
-                            None => break,
-                        }
-                    }
-                    None => break, // nothing left to claim anywhere
-                }
-            }
-        };
-        core.set(v);
-        let mut externals: Vec<VertexId> = Vec::new();
-        for (u, eid) in csr.neighbors_with_eids(v) {
-            if !is_claimed(claimed, eid) && !core.get(u) && !in_s.get(u) {
-                externals.push(u);
-            }
-        }
-        for u in externals {
-            move_to_secondary(u, &core, &mut in_s, &mut heap, &mut size, out);
-        }
+        self.heap.insert(v, dext);
     }
 }
 
@@ -150,57 +189,73 @@ impl EdgePartitioner for Dne {
         let csr = Csr::build(graph);
         let m = graph.num_edges();
         let cap = ((self.balance * m as f64) / k as f64).ceil() as u64;
-        let claimed: Vec<AtomicU64> =
-            (0..graph.edges.len().div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
-        let threads = if self.threads == 0 {
-            std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4).min(16)
+        // Proposal batch per partition per round: a function of the input
+        // only, so the round structure (and output) is thread-independent.
+        let batch = (cap / 4).max(4096) as usize;
+        let pool = if self.threads == 0 {
+            hep_par::Pool::current()
         } else {
-            self.threads
-        }
-        .min(k as usize)
-        .max(1);
+            hep_par::Pool::new(self.threads)
+        };
 
-        // Workers own disjoint partition groups; each returns (eid, p) pairs.
-        let mut results: Vec<Vec<(u32, PartitionId)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let csr = &csr;
-                    let claimed = &claimed;
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        let mut p = t as u32;
-                        while p < k {
-                            expand_partition(p, k, csr, claimed, cap, &mut out);
-                            p += threads as u32;
-                        }
-                        out
-                    })
+        let mut claimed = DenseBitset::new(graph.edges.len());
+        // Each partition's state lives behind its own (uncontended) mutex
+        // so a round's tasks can borrow their states mutably in parallel.
+        let states: Vec<std::sync::Mutex<Expansion>> = (0..k)
+            .map(|p| std::sync::Mutex::new(Expansion::new(p, k, csr.num_vertices())))
+            .collect();
+        let mut granted: Vec<Vec<u32>> = vec![Vec::new(); k as usize];
+        loop {
+            let active: Vec<u32> = (0..k)
+                .filter(|&p| {
+                    let s = states[p as usize].lock().expect("state lock");
+                    !s.done && s.size < cap
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
+            if active.is_empty() {
+                break;
+            }
+            // Expansion round: every active partition proposes against the
+            // frozen snapshot, concurrently.
+            let claimed_ref = &claimed;
+            let csr_ref = &csr;
+            let proposals: Vec<(u32, Vec<u32>)> = pool.par_map(active.len(), |i| {
+                let p = active[i];
+                let mut state = states[p as usize].lock().expect("state lock");
+                (p, state.expand_round(csr_ref, claimed_ref, cap, batch))
+            });
+            // Serial merge in partition order: lowest id wins a conflict;
+            // losers give the edge back (size compensation).
+            let mut any = false;
+            for (p, eids) in proposals {
+                for eid in eids {
+                    if claimed.insert(eid) {
+                        granted[p as usize].push(eid);
+                        any = true;
+                    } else {
+                        states[p as usize].lock().expect("state lock").size -= 1;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
 
         // Leftovers (components no expansion reached before its cap) go to
         // the least-loaded partitions.
-        let mut sizes = vec![0u64; k as usize];
-        for r in &results {
-            for &(_, p) in r {
-                sizes[p as usize] += 1;
-            }
-        }
-        let mut leftovers = Vec::new();
+        let mut sizes: Vec<u64> = granted.iter().map(|g| g.len() as u64).collect();
         for eid in 0..graph.edges.len() as u32 {
-            if !is_claimed(&claimed, eid) {
+            if !claimed.get(eid) {
                 let p = (0..k).min_by_key(|&p| sizes[p as usize]).expect("k >= 1");
                 sizes[p as usize] += 1;
-                leftovers.push((eid, p));
+                granted[p as usize].push(eid);
             }
         }
-        results.push(leftovers);
-        for r in results {
-            for (eid, p) in r {
+        for (p, eids) in granted.iter().enumerate() {
+            for &eid in eids {
                 let e = graph.edges[eid as usize];
-                sink.assign(e.src, e.dst, p);
+                sink.assign(e.src, e.dst, p as PartitionId);
             }
         }
         Ok(())
@@ -243,6 +298,20 @@ mod tests {
         let mut sink = CountingSink::default();
         Dne { threads: 1, balance: 1.05 }.partition(&g, 4, &mut sink).unwrap();
         assert_eq!(sink.counts.iter().sum::<u64>(), 1500);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        // The defining new property: the expansion rounds produce the exact
+        // same assignment sequence whether run on 1, 2 or 8 workers.
+        let g = hep_gen::GraphSpec::ChungLu { n: 1200, m: 9000, gamma: 2.2 }.generate(7);
+        let mut reference = CollectedAssignment::default();
+        Dne { threads: 1, balance: 1.05 }.partition(&g, 8, &mut reference).unwrap();
+        for threads in [2usize, 8] {
+            let mut sink = CollectedAssignment::default();
+            Dne { threads, balance: 1.05 }.partition(&g, 8, &mut sink).unwrap();
+            assert_eq!(sink.assignments, reference.assignments, "{threads} threads diverged");
+        }
     }
 
     #[test]

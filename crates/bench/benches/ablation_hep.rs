@@ -15,7 +15,7 @@ fn main() {
     );
     // 1. Informed vs uninformed streaming.
     let mut t = Table::new(["graph", "RF informed", "RF uninformed", "penalty"]);
-    for name in ["OK", "TW", "UK"] {
+    for &name in hep_bench::smoke_subset(&["OK", "TW", "UK"]) {
         let g = load_dataset(name);
         let rf_of = |informed: bool| {
             let mut config = HepConfig::with_tau(1.0);
@@ -36,7 +36,9 @@ fn main() {
     // 2. Lambda sweep on OK.
     let g = load_dataset("OK");
     let mut t = Table::new(["lambda", "RF", "alpha"]);
-    for lambda in [0.0, 0.5, 1.1, 2.0, 5.0] {
+    let lambdas: &[f64] =
+        if hep_bench::test_mode() { &[0.0, 1.1] } else { &[0.0, 0.5, 1.1, 2.0, 5.0] };
+    for &lambda in lambdas {
         let mut config = HepConfig::with_tau(1.0);
         config.lambda = lambda;
         let mut hep = Hep { config };

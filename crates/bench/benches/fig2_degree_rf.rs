@@ -40,7 +40,7 @@ fn main() {
         "Figure 2: degree vs replication factor (k = 32)",
         "Replication factor per degree bucket under HDRF (streaming) and NE (in-memory).",
     );
-    for name in ["LJ", "WI"] {
+    for &name in hep_bench::smoke_subset(&["LJ", "WI"]) {
         let g = load_dataset(name);
         println!("--- {name} graph ---");
         println!("{}", bucket_table(&g, 32).render());

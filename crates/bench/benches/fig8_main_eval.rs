@@ -6,7 +6,7 @@
 //! only HEP/HDRF/DBH on the very large GSH/WDC (where the paper's other
 //! baselines hit out-of-time/out-of-memory).
 
-use hep_bench::{banner, hep_configs, load_dataset, run_partitioner, PAPER_KS};
+use hep_bench::{banner, hep_configs, ks, load_dataset, run_partitioner, smoke_subset};
 use hep_graph::EdgePartitioner;
 use hep_metrics::table::{format_bytes, format_secs, Table};
 
@@ -42,10 +42,10 @@ fn main() {
         "Figure 8: replication factor / run-time / peak memory",
         "k in {4, 32, 128, 256}; roster per graph follows the paper's panels.",
     );
-    for name in ["OK", "IT", "TW", "FR", "UK", "GSH", "WDC"] {
+    for &name in smoke_subset(&["OK", "IT", "TW", "FR", "UK", "GSH", "WDC"]) {
         let g = load_dataset(name);
         println!("--- {name}: |V|={}, |E|={} ---", g.num_vertices, g.num_edges());
-        for k in PAPER_KS {
+        for k in ks() {
             let mut t = Table::new(["partitioner", "RF", "time", "peak mem", "alpha"]);
             for mut p in roster(name) {
                 let out = run_partitioner(p.as_mut(), &g, k, false)

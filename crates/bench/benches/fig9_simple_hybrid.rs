@@ -6,7 +6,7 @@
 //! its specific design (NE++ + informed HDRF) rather than hybridization per
 //! se?
 
-use hep_bench::{banner, load_dataset, run_partitioner, PAPER_KS};
+use hep_bench::{banner, ks, load_dataset, run_partitioner, smoke_subset};
 use hep_core::{Hep, SimpleHybrid};
 use hep_metrics::Table;
 
@@ -15,7 +15,7 @@ fn main() {
         "Figure 9: simple hybrid (NE + random streaming), normalized to HEP",
         "Values > 1 mean the simple hybrid is worse (higher RF / slower / more memory).",
     );
-    for name in ["OK", "IT", "TW", "FR", "UK"] {
+    for &name in smoke_subset(&["OK", "IT", "TW", "FR", "UK"]) {
         let g = load_dataset(name);
         println!("--- {name} ---");
         // Edge-type ratios (panels d, h, l, p, t).
@@ -33,7 +33,7 @@ fn main() {
         // Normalized quality/run-time/memory (panels a-c, e-g, ...).
         let mut t = Table::new(["tau", "k", "norm. RF", "norm. time", "norm. peak mem"]);
         for tau in [100.0, 10.0, 1.0] {
-            for k in PAPER_KS {
+            for k in ks() {
                 let mut hep = Hep::with_tau(tau);
                 let hep_out = run_partitioner(&mut hep, &g, k, false).expect("HEP runs");
                 let mut simple = SimpleHybrid::with_tau(tau);

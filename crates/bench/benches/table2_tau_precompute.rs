@@ -15,7 +15,7 @@ fn main() {
     );
     let grid = [100.0, 30.0, 10.0, 3.0, 1.0, 0.3];
     let mut t = Table::new(["graph", "precompute", "partitioning", "chosen tau (huge budget)"]);
-    for name in ["OK", "IT", "TW", "FR", "UK", "GSH", "WDC"] {
+    for &name in hep_bench::smoke_subset(&["OK", "IT", "TW", "FR", "UK", "GSH", "WDC"]) {
         let g = load_dataset(name);
         let start = Instant::now();
         let plan = hep_core::plan_tau(&g, 32, u64::MAX, &grid)

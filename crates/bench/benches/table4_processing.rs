@@ -30,7 +30,9 @@ fn main() {
     );
     let k = 32;
     let cost = ClusterCost::default();
-    for name in ["OK", "IT", "TW"] {
+    // Smoke mode trims the workloads along with the dataset list.
+    let (pr_iters, num_seeds) = if hep_bench::test_mode() { (5, 2) } else { (100, 10) };
+    for &name in hep_bench::smoke_subset(&["OK", "IT", "TW"]) {
         let g = load_dataset(name);
         println!("--- {name} ---");
         let mut t4 = Table::new(["partitioner", "part. time", "RF", "PageRank", "BFS", "CC"]);
@@ -40,8 +42,8 @@ fn main() {
                 .unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
             let assignment = out.collected.as_ref().expect("collected");
             let dg = DistributedGraph::load(&g, assignment, k);
-            let (_, pr) = pagerank(&dg, 100, &cost);
-            let seeds: Vec<u32> = (0..10).map(|i| (i * 7919) % g.num_vertices).collect();
+            let (_, pr) = pagerank(&dg, pr_iters, &cost);
+            let seeds: Vec<u32> = (0..num_seeds).map(|i| (i * 7919) % g.num_vertices).collect();
             let bfs_cost = bfs(&dg, &seeds, &cost);
             let (_, cc) = connected_components(&dg, &cost);
             t4.row([

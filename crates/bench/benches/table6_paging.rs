@@ -31,7 +31,12 @@ fn main() {
     let column_bytes = report.inmem_edges * 2 * 4;
     let total_pages = column_bytes.div_ceil(4096).max(1);
     let mut t = Table::new(["mem. limit", "limit/col.array", "run-time (model)", "hard faults"]);
-    for percent in [100u64, 90, 80, 70, 60, 50, 40, 30, 20, 10] {
+    let percents: &[u64] = if hep_bench::test_mode() {
+        &[100, 50, 10]
+    } else {
+        &[100, 90, 80, 70, 60, 50, 40, 30, 20, 10]
+    };
+    for &percent in percents {
         let pages = (total_pages * percent / 100).max(1);
         let stats = replay_trace(&trace, words_per_page, pages);
         t.row([

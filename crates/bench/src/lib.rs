@@ -13,10 +13,42 @@ use std::time::Instant;
 #[global_allocator]
 static ALLOC: alloc_track::CountingAlloc = alloc_track::CountingAlloc;
 
+/// True when the binary was invoked with `--test` (`cargo bench -- --test`):
+/// the table/figure binaries then run a smoke-sized experiment — the
+/// smallest `HEP_SCALE`, a reduced dataset/k matrix — instead of the full
+/// laptop-scale evaluation, mirroring the criterion stand-in's smoke mode.
+pub fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Dataset scale factor from the `HEP_SCALE` environment variable
-/// (default 1). Applies to all Table 3 analogs.
+/// (default 1). Applies to all Table 3 analogs. Smoke runs (`--test`)
+/// force the smallest scale regardless of the environment.
 pub fn scale() -> u32 {
+    if test_mode() {
+        return 1;
+    }
     std::env::var("HEP_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1).max(1)
+}
+
+/// The experiment's dataset list, truncated to its first entry in smoke
+/// mode so every binary still exercises its full code path once.
+pub fn smoke_subset<'a>(names: &'a [&'a str]) -> &'a [&'a str] {
+    if test_mode() && !names.is_empty() {
+        &names[..1]
+    } else {
+        names
+    }
+}
+
+/// The partition counts to evaluate: the paper's four, or just `k = 4` in
+/// smoke mode.
+pub fn ks() -> Vec<u32> {
+    if test_mode() {
+        vec![4]
+    } else {
+        PAPER_KS.to_vec()
+    }
 }
 
 /// Loads (and caches per process) a Table 3 dataset analog by name.
@@ -47,8 +79,12 @@ pub struct RunOutcome {
     pub alpha: f64,
     /// Vertex-replica balance std/avg (Table 5).
     pub vertex_balance: f64,
-    /// Peak live bytes during the run (max-RSS proxy).
+    /// Peak live bytes during the run (max-RSS proxy), aggregated across
+    /// every allocating thread including `hep-par` workers.
     pub peak_bytes: u64,
+    /// `hep-par` worker count the run executed with (`HEP_THREADS`);
+    /// results are identical at any value, run-time is not.
+    pub threads: usize,
     /// Full assignment, when requested (procsim input).
     pub collected: Option<CollectedAssignment>,
 }
@@ -98,6 +134,7 @@ pub fn run_partitioner(
         alpha: metrics.balance_factor(),
         vertex_balance: metrics.vertex_balance(),
         peak_bytes,
+        threads: hep_par::threads(),
         collected,
     })
 }
@@ -118,5 +155,10 @@ pub fn hep_configs() -> Vec<Box<dyn EdgePartitioner>> {
 pub fn banner(title: &str, detail: &str) {
     println!("\n=== {title} ===");
     println!("{detail}");
-    println!("dataset scale: HEP_SCALE={} (synthetic Table 3 analogs)\n", scale());
+    println!(
+        "dataset scale: HEP_SCALE={} (synthetic Table 3 analogs); HEP_THREADS={}{}\n",
+        scale(),
+        hep_par::threads(),
+        if test_mode() { "; SMOKE MODE (--test): reduced matrix" } else { "" }
+    );
 }

@@ -96,6 +96,13 @@ impl DenseBitset {
             *a |= b;
         }
     }
+
+    /// The backing 64-bit words, least-significant bit = lowest index.
+    /// Exposed so parallel consumers can scan fixed word ranges.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
 }
 
 /// Iterator over set bit indices of a [`DenseBitset`].

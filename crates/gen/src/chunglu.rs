@@ -5,16 +5,19 @@
 //! distribution with tail exponent γ — the model behind the social-network
 //! analogs (LJ, OK, TW, FR). Lower γ means heavier hubs.
 
-use hep_ds::{FxHashSet, SplitMix64};
+use crate::parfill::fill_distinct;
+use hep_ds::SplitMix64;
 use hep_graph::EdgeList;
 
 /// Generates a simple graph with `n` vertices, about `m` edges and degree
 /// exponent `gamma` (typical social networks: 1.9–2.6).
 ///
 /// The generator draws endpoint pairs until `m` *distinct* non-loop edges
-/// exist or a 10·m attempt budget is exhausted (dense + heavy-tailed corner
+/// exist or the attempt budget is exhausted (dense + heavy-tailed corner
 /// cases), so the delivered edge count can fall slightly short for extreme
-/// parameters; tests pin the tolerance.
+/// parameters; tests pin the tolerance. Pairs are drawn in parallel from
+/// independently seeded chunks (see `parfill`), so the output is identical
+/// at any `HEP_THREADS` setting.
 pub fn chung_lu(n: u32, m: u64, gamma: f64, seed: u64) -> EdgeList {
     assert!(n >= 2, "need at least two vertices");
     assert!(gamma > 1.0, "gamma must exceed 1");
@@ -35,27 +38,16 @@ pub fn chung_lu(n: u32, m: u64, gamma: f64, seed: u64) -> EdgeList {
         let j = rng.next_below(i as u64 + 1) as usize;
         rank_to_vertex.swap(i, j);
     }
-    let draw = |rng: &mut SplitMix64| -> u32 {
+    let endpoint = |rng: &mut SplitMix64| -> u32 {
         let x = rng.next_f64() * total;
         let rank = cumulative.partition_point(|&c| c < x).min(n as usize - 1);
         rank_to_vertex[rank]
     };
-    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
-    seen.reserve(m as usize);
-    let mut pairs = Vec::with_capacity(m as usize);
-    let budget = m.saturating_mul(10).max(1000);
-    let mut attempts = 0u64;
-    while (pairs.len() as u64) < m && attempts < budget {
-        attempts += 1;
-        let u = draw(&mut rng);
-        let v = draw(&mut rng);
-        if u == v {
-            continue;
-        }
-        if seen.insert((u.min(v), u.max(v))) {
-            pairs.push((u, v));
-        }
-    }
+    let pairs = fill_distinct(&rng, m, false, |rng| {
+        let u = endpoint(rng);
+        let v = endpoint(rng);
+        (u != v).then_some((u, v))
+    });
     EdgeList::with_vertices(n, pairs).expect("ids in range by construction")
 }
 

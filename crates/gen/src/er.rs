@@ -3,29 +3,24 @@
 //! Used for the BR (brain) analog — a dense graph with low degree skew —
 //! and as a control in tests (no hubs, so τ-pruning removes little).
 
-use hep_ds::{FxHashSet, SplitMix64};
+use crate::parfill::fill_distinct;
+use hep_ds::SplitMix64;
 use hep_graph::EdgeList;
 
 /// Generates a simple undirected G(n, m) graph. Panics if `m` exceeds the
-/// number of possible edges.
+/// number of possible edges. Pairs are drawn in parallel from independently
+/// seeded chunks with an unbounded serial top-up (termination is guaranteed
+/// because `m` distinct edges always exist), so exactly `m` edges are
+/// delivered and the output is identical at any `HEP_THREADS` setting.
 pub fn erdos_renyi(n: u32, m: u64, seed: u64) -> EdgeList {
     let possible = n as u64 * (n as u64 - 1) / 2;
     assert!(m <= possible, "G({n}, {m}) impossible: only {possible} edges exist");
-    let mut rng = SplitMix64::new(seed);
-    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
-    seen.reserve(m as usize);
-    let mut pairs = Vec::with_capacity(m as usize);
-    while (pairs.len() as u64) < m {
+    let rng = SplitMix64::new(seed);
+    let pairs = fill_distinct(&rng, m, true, |rng| {
         let u = rng.next_below(n as u64) as u32;
         let v = rng.next_below(n as u64) as u32;
-        if u == v {
-            continue;
-        }
-        let key = (u.min(v), u.max(v));
-        if seen.insert(key) {
-            pairs.push((u, v));
-        }
-    }
+        (u != v).then_some((u, v))
+    });
     EdgeList::with_vertices(n, pairs).expect("ids in range by construction")
 }
 

@@ -15,13 +15,19 @@
 //!    site-level block structure of web crawls explicitly.
 //!
 //! Every generator is deterministic in its seed, returns a canonicalized
-//! simple graph, and is exercised by statistical sanity tests.
+//! simple graph, and is exercised by statistical sanity tests. The Chung–Lu,
+//! R-MAT, BA and ER generators draw edges in parallel on the `hep-par` pool
+//! from independently seeded chunks (`SplitMix64::split(chunk_index)`)
+//! merged in chunk order, so their output is **bit-identical at any
+//! `HEP_THREADS` setting** — determinism is in the seed alone, never in the
+//! thread count.
 
 pub mod ba;
 pub mod chunglu;
 pub mod community;
 pub mod datasets;
 pub mod er;
+mod parfill;
 pub mod rmat;
 pub mod spec;
 pub mod special;

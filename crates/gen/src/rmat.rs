@@ -5,7 +5,8 @@
 //! parameter sets produce both a power-law degree tail and hierarchical
 //! locality, which is why we use R-MAT for the web-crawl analogs (WI).
 
-use hep_ds::{FxHashSet, SplitMix64};
+use crate::parfill::fill_distinct;
+use hep_ds::SplitMix64;
 use hep_graph::EdgeList;
 
 /// R-MAT parameters. `a + b + c + d` must sum to 1.
@@ -32,21 +33,17 @@ impl RmatParams {
 
 /// Generates a simple R-MAT graph with `2^scale` vertices and about `m`
 /// distinct edges (attempt budget 10·m, like the other generators).
+/// Candidates are drawn in parallel from independently seeded chunks, so
+/// the output is identical at any `HEP_THREADS` setting.
 pub fn rmat(scale: u32, m: u64, params: RmatParams, seed: u64) -> EdgeList {
     assert!(scale >= 1 && scale < 31, "scale out of range");
     let sum = params.a + params.b + params.c + params.d;
     assert!((sum - 1.0).abs() < 1e-9, "parameters must sum to 1, got {sum}");
     let n = 1u32 << scale;
-    let mut rng = SplitMix64::new(seed);
-    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
-    seen.reserve(m as usize);
-    let mut pairs = Vec::with_capacity(m as usize);
-    let budget = m.saturating_mul(10).max(1000);
-    let mut attempts = 0u64;
+    let rng = SplitMix64::new(seed);
     // Per-level parameter noise (±10%) avoids the exact self-similarity that
     // makes pure R-MAT degrees lumpy.
-    while (pairs.len() as u64) < m && attempts < budget {
-        attempts += 1;
+    let pairs = fill_distinct(&rng, m, false, |rng| {
         let mut u = 0u32;
         let mut v = 0u32;
         for level in 0..scale {
@@ -67,13 +64,8 @@ pub fn rmat(scale: u32, m: u64, params: RmatParams, seed: u64) -> EdgeList {
                 v |= bit;
             }
         }
-        if u == v || u >= n || v >= n {
-            continue;
-        }
-        if seen.insert((u.min(v), u.max(v))) {
-            pairs.push((u, v));
-        }
-    }
+        (u != v && u < n && v < n).then_some((u, v))
+    });
     EdgeList::with_vertices(n, pairs).expect("ids in range by construction")
 }
 

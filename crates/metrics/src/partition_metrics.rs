@@ -1,8 +1,23 @@
 //! Partitioning quality metrics (paper §2 and §5.1).
+//!
+//! [`PartitionMetrics`] is a *sharded accumulator*: independent instances
+//! built over disjoint slices of an assignment can be [`merged`] into the
+//! metrics of the whole — every ingredient (covered-vertex bitsets, edge
+//! counts) is a commutative monoid. [`PartitionMetrics::from_assignment`]
+//! uses that to replay a [`CollectedAssignment`] in parallel on the
+//! `hep-par` pool with bit-identical results at any thread count.
+//!
+//! [`merged`]: PartitionMetrics::merge
+//! [`CollectedAssignment`]: hep_graph::partitioner::CollectedAssignment
 
 use hep_ds::DenseBitset;
 use hep_graph::degrees::degree_bucket;
+use hep_graph::partitioner::CollectedAssignment;
 use hep_graph::{AssignSink, PartitionId, VertexId};
+
+/// Assignments per parallel replay chunk (constant: the decomposition must
+/// not depend on the worker count).
+const REPLAY_CHUNK: usize = 65_536;
 
 /// Accumulates metrics as a partitioner emits assignments.
 #[derive(Clone, Debug)]
@@ -31,19 +46,90 @@ impl PartitionMetrics {
         self.k
     }
 
+    /// Folds another accumulator (built over a disjoint slice of the same
+    /// assignment) into `self`: bitset unions and count sums. Panics if the
+    /// two were created with different `k` or vertex-id capacities.
+    pub fn merge(&mut self, other: &PartitionMetrics) {
+        assert_eq!(self.k, other.k, "partition count mismatch");
+        for (mine, theirs) in self.covered.iter_mut().zip(other.covered.iter()) {
+            mine.union_with(theirs);
+        }
+        for (mine, theirs) in self.edge_counts.iter_mut().zip(other.edge_counts.iter()) {
+            *mine += theirs;
+        }
+        self.total_edges += other.total_edges;
+    }
+
+    /// Scores a finished assignment by replaying it in parallel: fixed
+    /// chunks of the assignment feed per-chunk accumulators, which are then
+    /// merged per partition on the pool. Equivalent to (and bit-identical
+    /// with) feeding every assignment through [`AssignSink::assign`]
+    /// serially, at any `HEP_THREADS` setting.
+    pub fn from_assignment(k: u32, num_vertices: u32, assignment: &CollectedAssignment) -> Self {
+        let shards = hep_par::par_chunks(&assignment.assignments, REPLAY_CHUNK, |_, chunk| {
+            let mut acc = PartitionMetrics::new(k, num_vertices);
+            for &(e, p) in chunk {
+                acc.assign(e.src, e.dst, p);
+            }
+            acc
+        });
+        if shards.len() == 1 {
+            return shards.into_iter().next().expect("one shard");
+        }
+        let mut merged = PartitionMetrics::new(k, num_vertices);
+        if shards.is_empty() {
+            return merged;
+        }
+        // Merge bitsets per partition on the pool (each task owns one
+        // partition id, so no two tasks touch the same bitset).
+        merged.covered = hep_par::Pool::current().par_map(k as usize, |p| {
+            let mut bs = shards[0].covered[p].clone();
+            for shard in &shards[1..] {
+                bs.union_with(&shard.covered[p]);
+            }
+            bs
+        });
+        for shard in &shards {
+            for (mine, theirs) in merged.edge_counts.iter_mut().zip(shard.edge_counts.iter()) {
+                *mine += theirs;
+            }
+            merged.total_edges += shard.total_edges;
+        }
+        merged
+    }
+
     /// Total edges assigned so far.
     pub fn total_edges(&self) -> u64 {
         self.total_edges
     }
 
     /// Per-vertex replica counts (number of partitions covering each vertex).
+    ///
+    /// Computed in parallel over fixed 64-bit-word ranges of the vertex id
+    /// space: each task scans all `k` bitsets within its range, so no two
+    /// tasks write the same counter and the result is exact.
     pub fn replica_counts(&self) -> Vec<u32> {
+        const WORDS_PER_CHUNK: usize = 4096;
         let n = self.covered.first().map_or(0, |b| b.capacity());
-        let mut counts = vec![0u32; n];
-        for set in &self.covered {
-            for v in set.iter_ones() {
-                counts[v as usize] += 1;
+        let ranges = hep_par::chunk_ranges(n.div_ceil(64), WORDS_PER_CHUNK);
+        let chunks = hep_par::Pool::current().par_map(ranges.len(), |i| {
+            let (wa, wb) = ranges[i];
+            let lo = wa * 64;
+            let mut counts = vec![0u32; ((wb * 64).min(n)) - lo];
+            for set in &self.covered {
+                for (wi, &word) in set.words()[wa..wb].iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        counts[(wi << 6) + word.trailing_zeros() as usize] += 1;
+                        word &= word - 1;
+                    }
+                }
             }
+            counts
+        });
+        let mut counts = Vec::with_capacity(n);
+        for c in chunks {
+            counts.extend(c);
         }
         counts
     }
@@ -191,6 +277,59 @@ mod tests {
         assert_eq!(m.replication_factor(), 0.0);
         assert_eq!(m.balance_factor(), 0.0);
         assert_eq!(m.total_edges(), 0);
+    }
+
+    #[test]
+    fn merge_equals_serial_accumulation() {
+        let edges = [(0u32, 1u32, 0u32), (1, 2, 1), (2, 3, 0), (3, 4, 2), (4, 0, 1)];
+        let mut whole = PartitionMetrics::new(3, 5);
+        let mut left = PartitionMetrics::new(3, 5);
+        let mut right = PartitionMetrics::new(3, 5);
+        for (i, &(u, v, p)) in edges.iter().enumerate() {
+            whole.assign(u, v, p);
+            if i < 2 {
+                left.assign(u, v, p);
+            } else {
+                right.assign(u, v, p);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.replica_counts(), whole.replica_counts());
+        assert_eq!(left.edge_counts, whole.edge_counts);
+        assert_eq!(left.total_edges(), whole.total_edges());
+        assert_eq!(left.replication_factor(), whole.replication_factor());
+    }
+
+    #[test]
+    fn from_assignment_matches_sink_replay_at_any_thread_count() {
+        use hep_graph::EdgePartitioner;
+        let g = hep_gen::GraphSpec::ChungLu { n: 2000, m: 15_000, gamma: 2.2 }.generate(8);
+        let k = 8;
+        let mut serial = PartitionMetrics::new(k, g.num_vertices);
+        let mut collected = hep_graph::partitioner::CollectedAssignment::default();
+        {
+            let mut tee =
+                hep_graph::partitioner::TeeSink { first: &mut serial, second: &mut collected };
+            hep_baselines::Hdrf::default().partition(&g, k, &mut tee).unwrap();
+        }
+        for threads in [1, 8] {
+            let replayed = hep_par::with_threads(threads, || {
+                PartitionMetrics::from_assignment(k, g.num_vertices, &collected)
+            });
+            assert_eq!(replayed.replica_counts(), serial.replica_counts());
+            assert_eq!(replayed.edge_counts, serial.edge_counts);
+            assert_eq!(replayed.total_edges(), serial.total_edges());
+            assert_eq!(replayed.replication_factor(), serial.replication_factor());
+            assert_eq!(replayed.balance_factor(), serial.balance_factor());
+        }
+    }
+
+    #[test]
+    fn from_assignment_empty_is_zero() {
+        let a = hep_graph::partitioner::CollectedAssignment::default();
+        let m = PartitionMetrics::from_assignment(4, 100, &a);
+        assert_eq!(m.total_edges(), 0);
+        assert_eq!(m.replication_factor(), 0.0);
     }
 
     #[test]

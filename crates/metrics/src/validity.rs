@@ -1,14 +1,46 @@
 //! Exactly-once assignment validation (§2: the partitions are disjoint and
 //! cover `E`). Used as a guard by the experiment harness: an experiment that
 //! reports metrics for an invalid partitioning would be meaningless.
+//!
+//! The check runs concurrently on the `hep-par` pool: fixed chunks of both
+//! edge streams are canonicalized and bucketed into a fixed number of hash
+//! shards in parallel, then each shard independently verifies multiset
+//! equality between its slice of the graph and its slice of the assignment.
+//! Both decompositions depend only on the input (never the worker count),
+//! and the reported violation is the one from the lowest-numbered shard, so
+//! the verdict — including the error text — is deterministic at any
+//! `HEP_THREADS` setting.
 
-use hep_ds::FxHashMap;
+use hep_ds::{FxHashMap, FxHasher};
 use hep_graph::partitioner::CollectedAssignment;
 use hep_graph::{Edge, EdgeList};
+use std::hash::{Hash, Hasher};
+
+/// Hash shards for the concurrent multiset check (constant: part of the
+/// deterministic decomposition).
+const SHARDS: usize = 32;
+/// Edges per bucketing chunk (constant, same reason).
+const CHUNK: usize = 65_536;
+
+fn shard_of(e: &Edge) -> usize {
+    let mut h = FxHasher::default();
+    e.hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
+
+/// Canonicalizes a chunk's edges into per-shard buckets.
+fn bucket(edges: &[Edge]) -> Vec<Vec<Edge>> {
+    let mut buckets = vec![Vec::new(); SHARDS];
+    for e in edges {
+        let c = e.canonical();
+        buckets[shard_of(&c)].push(c);
+    }
+    buckets
+}
 
 /// Checks that `assignment` places every edge of `graph` exactly once on a
 /// partition `< k`. Returns a human-readable description of the first
-/// violation.
+/// violation (first by shard, deterministically).
 pub fn validate_assignment(
     graph: &EdgeList,
     assignment: &CollectedAssignment,
@@ -21,25 +53,59 @@ pub fn validate_assignment(
             graph.edges.len()
         ));
     }
-    let mut expect: FxHashMap<Edge, i64> = FxHashMap::default();
-    expect.reserve(graph.edges.len());
-    for e in &graph.edges {
-        *expect.entry(e.canonical()).or_insert(0) += 1;
-    }
-    for (e, p) in &assignment.assignments {
-        if *p >= k {
-            return Err(format!("edge {e:?} assigned to out-of-range partition {p} (k={k})"));
+    // Phase 1: concurrent partition-range check + canonical bucketing of
+    // the assigned edges, and canonical bucketing of the graph's edges.
+    let assigned_chunks = hep_par::par_chunks(&assignment.assignments, CHUNK, |_, chunk| {
+        let mut buckets = vec![Vec::new(); SHARDS];
+        let mut range_err = None;
+        for (e, p) in chunk {
+            if *p >= k && range_err.is_none() {
+                range_err =
+                    Some(format!("edge {e:?} assigned to out-of-range partition {p} (k={k})"));
+            }
+            let c = e.canonical();
+            buckets[shard_of(&c)].push(c);
         }
-        match expect.get_mut(&e.canonical()) {
-            Some(c) if *c > 0 => *c -= 1,
-            Some(_) => return Err(format!("edge {e:?} assigned more than once")),
-            None => return Err(format!("edge {e:?} does not exist in the input")),
+        (buckets, range_err)
+    });
+    // First out-of-range violation in chunk order (= assignment order).
+    if let Some(err) = assigned_chunks.iter().find_map(|(_, e)| e.clone()) {
+        return Err(err);
+    }
+    let graph_chunks = hep_par::par_chunks(&graph.edges, CHUNK, |_, chunk| bucket(chunk));
+    // Phase 2: per-shard multiset equality, concurrently; each shard sees
+    // every occurrence of its edges and none of any other shard's.
+    // Each shard reports (scan violation, leftover violation); scan
+    // violations outrank leftovers globally, mirroring the serial check
+    // (a double assignment always implies some other edge went missing —
+    // report the cause, not the symptom).
+    let verdicts = hep_par::Pool::current().par_map(SHARDS, |s| {
+        let mut expect: FxHashMap<Edge, i64> = FxHashMap::default();
+        for chunk in &graph_chunks {
+            for e in &chunk[s] {
+                *expect.entry(*e).or_insert(0) += 1;
+            }
         }
+        for (chunk, _) in &assigned_chunks {
+            for e in &chunk[s] {
+                match expect.get_mut(e) {
+                    Some(c) if *c > 0 => *c -= 1,
+                    Some(_) => return (Some(format!("edge {e:?} assigned more than once")), None),
+                    None => return (Some(format!("edge {e:?} does not exist in the input")), None),
+                }
+            }
+        }
+        let leftover =
+            expect.iter().find(|(_, &c)| c != 0).map(|(e, _)| format!("edge {e:?} never assigned"));
+        (None, leftover)
+    });
+    if let Some(err) = verdicts.iter().find_map(|(scan, _)| scan.clone()) {
+        return Err(err);
     }
-    if let Some((e, _)) = expect.iter().find(|(_, &c)| c != 0) {
-        return Err(format!("edge {e:?} never assigned"));
+    match verdicts.into_iter().find_map(|(_, leftover)| leftover) {
+        Some(err) => Err(err),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 #[cfg(test)]

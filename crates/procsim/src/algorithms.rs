@@ -1,9 +1,28 @@
 //! The three workloads of §5.3: PageRank (all vertices active every
 //! iteration — communication-bound), BFS (frontier-driven), and Connected
 //! Components (activity decays over time).
+//!
+//! Per-superstep compute runs concurrently on the `hep-par` pool — the BSP
+//! barrier between supersteps is the only synchronization point, exactly as
+//! on the simulated cluster. Every parallel step is structured to be
+//! bit-identical at any thread count:
+//!
+//! * PageRank *pulls* rank from neighbors (each task owns a fixed output
+//!   range and sums in CSR order) instead of pushing (which would race);
+//!   the dangling-mass reduction folds fixed chunks in chunk order, so the
+//!   floating-point summation tree never depends on the worker count.
+//! * BFS workers read a frozen distance array and propose candidates; a
+//!   serial commit in chunk order deduplicates the next frontier.
+//! * Connected components relaxes labels with an atomic `fetch_min` —
+//!   order-insensitive, so racing workers cannot change the outcome.
 
 use crate::cluster::{ClusterCost, DistributedGraph};
 use hep_graph::VertexId;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Active vertices per parallel task (constant: the chunk decomposition
+/// pins the results across thread counts).
+const CHUNK: usize = 4096;
 
 /// Accumulated cost of a simulated run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -18,7 +37,7 @@ pub struct RunCost {
 
 impl RunCost {
     fn charge(&mut self, dg: &DistributedGraph, cost: &ClusterCost, active: &[VertexId]) {
-        let (compute, traffic, msgs) = dg.superstep_cost(active.iter().copied());
+        let (compute, traffic, msgs) = dg.superstep_cost(active);
         self.supersteps += 1;
         self.total_msgs += msgs;
         self.sim_seconds +=
@@ -41,31 +60,46 @@ pub fn pagerank(dg: &DistributedGraph, iterations: u32, cost: &ClusterCost) -> (
     let mut rank = vec![1.0 / n as f64; n];
     let mut next = vec![0.0f64; n];
     let all: Vec<VertexId> = (0..n as u32).collect();
+    let ranges = hep_par::chunk_ranges(n, CHUNK);
+    let pool = hep_par::Pool::current();
     let mut run = RunCost::default();
     for _ in 0..iterations {
         run.charge(dg, cost, &all);
         // Dangling (degree-0) vertices spread their mass uniformly so the
-        // ranks stay a probability distribution.
-        let mut dangling = 0.0f64;
-        for v in 0..n as u32 {
-            if dg.csr.degree(v) == 0 {
-                dangling += rank[v as usize];
-            }
-        }
+        // ranks stay a probability distribution. Partial sums fold in chunk
+        // order: a fixed summation tree.
+        let rank_ref = &rank;
+        let dangling = pool.par_reduce(
+            ranges.len(),
+            |i| {
+                let (a, b) = ranges[i];
+                let mut s = 0.0f64;
+                for v in a..b {
+                    if dg.csr.degree(v as u32) == 0 {
+                        s += rank_ref[v];
+                    }
+                }
+                s
+            },
+            0.0f64,
+            |acc, s| acc + s,
+        );
         let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
-        for x in next.iter_mut() {
-            *x = base;
-        }
-        for v in 0..n as u32 {
-            let d = dg.csr.degree(v);
-            if d == 0 {
-                continue;
+        // Pull phase: each task owns an output range of the double buffer
+        // and gathers from its vertices' neighbors in CSR order — no write
+        // races, no per-iteration allocation, and the same per-vertex
+        // accumulation order as a serial pull.
+        hep_par::par_chunks_mut(&mut next, CHUNK, |i, slice| {
+            let (a, _) = ranges[i];
+            for (off, x) in slice.iter_mut().enumerate() {
+                let u = (a + off) as u32;
+                let mut acc = base;
+                for &v in dg.csr.neighbors(u) {
+                    acc += damping * rank_ref[v as usize] / dg.csr.degree(v) as f64;
+                }
+                *x = acc;
             }
-            let share = damping * rank[v as usize] / d as f64;
-            for &u in dg.csr.neighbors(v) {
-                next[u as usize] += share;
-            }
-        }
+        });
         std::mem::swap(&mut rank, &mut next);
     }
     (rank, run)
@@ -87,9 +121,24 @@ pub fn bfs_single(
     while !frontier.is_empty() {
         run.charge(dg, cost, &frontier);
         depth += 1;
+        // Workers scan a frozen distance array and propose candidates; the
+        // serial commit below deduplicates in chunk order, so the frontier
+        // (and its order) is the same at any thread count.
+        let dist_ref = &dist;
+        let candidates = hep_par::par_chunks(&frontier, CHUNK, |_, chunk| {
+            let mut found = Vec::new();
+            for &v in chunk {
+                for &u in dg.csr.neighbors(v) {
+                    if dist_ref[u as usize] == u32::MAX {
+                        found.push(u);
+                    }
+                }
+            }
+            found
+        });
         let mut next = Vec::new();
-        for &v in &frontier {
-            for &u in dg.csr.neighbors(v) {
+        for c in candidates {
+            for u in c {
                 if dist[u as usize] == u32::MAX {
                     dist[u as usize] = depth;
                     next.push(u);
@@ -122,22 +171,34 @@ pub fn connected_components(dg: &DistributedGraph, cost: &ClusterCost) -> (Vec<u
     let mut run = RunCost::default();
     while !active.is_empty() {
         run.charge(dg, cost, &active);
-        let mut changed: Vec<VertexId> = Vec::new();
-        let mut new_label = label.clone();
-        for &v in &active {
-            for &u in dg.csr.neighbors(v) {
-                if label[v as usize] < new_label[u as usize] {
-                    new_label[u as usize] = label[v as usize];
+        // Min-label relaxation with atomic fetch_min: the minimum is
+        // order-insensitive, so concurrent workers cannot change the result.
+        let relaxed: Vec<AtomicU32> = label.iter().map(|&l| AtomicU32::new(l)).collect();
+        let label_ref = &label;
+        let relaxed_ref = &relaxed;
+        hep_par::par_chunks(&active, CHUNK, |_, chunk| {
+            for &v in chunk {
+                let lv = label_ref[v as usize];
+                for &u in dg.csr.neighbors(v) {
+                    relaxed_ref[u as usize].fetch_min(lv, Ordering::Relaxed);
                 }
             }
-        }
-        for v in 0..n as u32 {
-            if new_label[v as usize] != label[v as usize] {
-                changed.push(v);
+        });
+        let new_label: Vec<u32> = relaxed.into_iter().map(AtomicU32::into_inner).collect();
+        // Changed set: fixed vertex ranges concatenated in order.
+        let new_ref = &new_label;
+        let changed_chunks = hep_par::par_chunks(&label, CHUNK, |i, chunk| {
+            let base = i * CHUNK;
+            let mut changed = Vec::new();
+            for (off, &old) in chunk.iter().enumerate() {
+                if new_ref[base + off] != old {
+                    changed.push((base + off) as u32);
+                }
             }
-        }
+            changed
+        });
         label = new_label;
-        active = changed;
+        active = changed_chunks.into_iter().flatten().collect();
     }
     (label, run)
 }

@@ -95,26 +95,48 @@ impl DistributedGraph {
     /// synchronize. Returns `(max_compute, max_traffic, total_msgs)` where
     /// compute counts active local edges per machine and traffic counts
     /// per-machine sent+received messages.
-    pub fn superstep_cost(&self, active: impl Iterator<Item = VertexId>) -> (u64, u64, u64) {
-        let mut compute = vec![0u64; self.k as usize];
-        let mut traffic = vec![0u64; self.k as usize];
-        let mut total_msgs = 0u64;
-        for v in active {
-            let reps = &self.replicas[v as usize];
-            if reps.is_empty() {
-                continue;
-            }
-            let r = reps.len() as u64;
-            total_msgs += 2 * (r - 1);
-            let master = reps[0].0;
-            // Master exchanges (r-1) partials in and (r-1) updates out.
-            traffic[master as usize] += 2 * (r - 1);
-            for (i, &(m, local_deg)) in reps.iter().enumerate() {
-                compute[m as usize] += local_deg as u64;
-                if i > 0 {
-                    traffic[m as usize] += 2; // one partial out, one update in
+    ///
+    /// The per-machine tallies run concurrently on the `hep-par` pool over
+    /// fixed chunks of the active set (the BSP barrier is the natural sync
+    /// point); the per-chunk integer tallies sum to the same totals at any
+    /// thread count.
+    pub fn superstep_cost(&self, active: &[VertexId]) -> (u64, u64, u64) {
+        const CHUNK: usize = 8192;
+        let k = self.k as usize;
+        let parts = hep_par::par_chunks(active, CHUNK, |_, chunk| {
+            let mut compute = vec![0u64; k];
+            let mut traffic = vec![0u64; k];
+            let mut msgs = 0u64;
+            for &v in chunk {
+                let reps = &self.replicas[v as usize];
+                if reps.is_empty() {
+                    continue;
+                }
+                let r = reps.len() as u64;
+                msgs += 2 * (r - 1);
+                let master = reps[0].0;
+                // Master exchanges (r-1) partials in and (r-1) updates out.
+                traffic[master as usize] += 2 * (r - 1);
+                for (i, &(m, local_deg)) in reps.iter().enumerate() {
+                    compute[m as usize] += local_deg as u64;
+                    if i > 0 {
+                        traffic[m as usize] += 2; // one partial out, one update in
+                    }
                 }
             }
+            (compute, traffic, msgs)
+        });
+        let mut compute = vec![0u64; k];
+        let mut traffic = vec![0u64; k];
+        let mut total_msgs = 0u64;
+        for (c, t, m) in parts {
+            for (acc, x) in compute.iter_mut().zip(c) {
+                *acc += x;
+            }
+            for (acc, x) in traffic.iter_mut().zip(t) {
+                *acc += x;
+            }
+            total_msgs += m;
         }
         (
             compute.iter().copied().max().unwrap_or(0),
@@ -159,12 +181,12 @@ mod tests {
         let dg = DistributedGraph::load(&g, &a, 2);
         // Only the hub active: r=2 -> 2 messages; compute = max local degree
         // of the hub (3 on each machine).
-        let (compute, traffic, msgs) = dg.superstep_cost([0u32].into_iter());
+        let (compute, traffic, msgs) = dg.superstep_cost(&[0u32]);
         assert_eq!(msgs, 2);
         assert_eq!(compute, 3);
         assert!(traffic >= 2);
         // A leaf has one replica: no messages.
-        let (_, _, msgs) = dg.superstep_cost([1u32].into_iter());
+        let (_, _, msgs) = dg.superstep_cost(&[1u32]);
         assert_eq!(msgs, 0);
     }
 
@@ -174,7 +196,7 @@ mod tests {
         let mut a = CollectedAssignment::default();
         a.assign(0, 1, 0);
         let dg = DistributedGraph::load(&g, &a, 2);
-        let (c, t, m) = dg.superstep_cost([4u32].into_iter());
+        let (c, t, m) = dg.superstep_cost(&[4u32]);
         assert_eq!((c, t, m), (0, 0, 0));
     }
 }

@@ -22,5 +22,5 @@
 pub mod algorithms;
 pub mod cluster;
 
-pub use algorithms::{bfs, connected_components, pagerank, RunCost};
+pub use algorithms::{bfs, bfs_single, connected_components, pagerank, RunCost};
 pub use cluster::{ClusterCost, DistributedGraph};

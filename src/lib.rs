@@ -37,6 +37,7 @@
 //! | [`procsim`] | the simulated distributed processing cluster (§5.3) |
 //! | [`pagesim`] | the LRU paging simulator (§5.5) |
 //! | [`ds`] | bitsets, indexed min-heap, fast hashing |
+//! | [`par`] | deterministic parallel primitives (`HEP_THREADS`, chunked seeding) |
 //! | [`hyper`] | hybrid hyperedge partitioning (the paper's §7 future-work direction) |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
@@ -53,6 +54,7 @@ pub use hep_graph as graph;
 pub use hep_hyper as hyper;
 pub use hep_metrics as metrics;
 pub use hep_pagesim as pagesim;
+pub use hep_par as par;
 pub use hep_procsim as procsim;
 
 /// Convenience re-exports of the most used types.

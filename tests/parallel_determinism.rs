@@ -1,0 +1,117 @@
+//! Property suite for the workspace determinism invariant: every component
+//! converted to the `hep-par` pool must produce **bit-identical output at
+//! `HEP_THREADS=1` and `HEP_THREADS=8`** (and, by the same construction,
+//! any other count). Each property runs the same seeded workload once per
+//! thread setting and compares the results exactly — including `f64` bit
+//! patterns where floating point is involved.
+
+use proptest::prelude::*;
+
+/// The pair of runs every property compares. `hep_par::with_threads` pins
+/// the pool width for each run and serializes against every other caller
+/// in the process, so concurrent properties cannot override each other.
+fn serial_vs_parallel<T>(f: impl Fn() -> T) -> (T, T) {
+    (hep::par::with_threads(1, &f), hep::par::with_threads(8, &f))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn chung_lu_is_thread_invariant(seed in 0u64..1000, m in 2_000u64..60_000) {
+        let n = (m / 8).max(16) as u32;
+        let (a, b) = serial_vs_parallel(|| hep::gen::chunglu::chung_lu(n, m, 2.2, seed).edges);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn erdos_renyi_is_thread_invariant(seed in 0u64..1000, m in 2_000u64..60_000) {
+        let n = (m / 6).max(32) as u32;
+        let (a, b) = serial_vs_parallel(|| hep::gen::er::erdos_renyi(n, m, seed).edges);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rmat_is_thread_invariant(seed in 0u64..1000, m in 2_000u64..60_000) {
+        let params = hep::gen::rmat::RmatParams::graph500();
+        let (a, b) = serial_vs_parallel(|| hep::gen::rmat::rmat(14, m, params, seed).edges);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn barabasi_albert_is_thread_invariant(seed in 0u64..1000, n in 100u32..30_000) {
+        let (a, b) = serial_vs_parallel(|| hep::gen::ba::barabasi_albert(n, 3, seed).edges);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_replay_is_thread_invariant(seed in 0u64..1000) {
+        use hep::graph::EdgePartitioner;
+        let g = hep::gen::GraphSpec::ChungLu { n: 1500, m: 12_000, gamma: 2.2 }.generate(seed);
+        let k = 16;
+        let mut collected = hep::graph::partitioner::CollectedAssignment::default();
+        hep::baselines::Hdrf::default().partition(&g, k, &mut collected).unwrap();
+        let (a, b) = serial_vs_parallel(|| {
+            let m = hep::metrics::PartitionMetrics::from_assignment(k, g.num_vertices, &collected);
+            (m.replica_counts(), m.edge_counts.clone(), m.replication_factor().to_bits())
+        });
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation_verdict_is_thread_invariant(seed in 0u64..1000, corrupt in 0u32..3) {
+        use hep::graph::EdgePartitioner;
+        let g = hep::gen::GraphSpec::ChungLu { n: 800, m: 6_000, gamma: 2.2 }.generate(seed);
+        let k = 8;
+        let mut collected = hep::graph::partitioner::CollectedAssignment::default();
+        hep::baselines::Dbh::default().partition(&g, k, &mut collected).unwrap();
+        // Corrupt the assignment in one of three ways (0 leaves it valid),
+        // so the error *text* is compared across thread counts too.
+        match corrupt {
+            1 => collected.assignments[17].1 = k + 5,
+            2 => collected.assignments[17].0 = collected.assignments[18].0,
+            _ => {}
+        }
+        let (a, b) = serial_vs_parallel(|| hep::metrics::validate_assignment(&g, &collected, k));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.is_ok(), corrupt == 0);
+    }
+
+    #[test]
+    fn procsim_workloads_are_thread_invariant(seed in 0u64..1000) {
+        use hep::graph::EdgePartitioner;
+        let g = hep::gen::GraphSpec::ChungLu { n: 600, m: 4_000, gamma: 2.2 }.generate(seed);
+        let k = 8;
+        let mut collected = hep::graph::partitioner::CollectedAssignment::default();
+        hep::baselines::Hdrf::default().partition(&g, k, &mut collected).unwrap();
+        let dg = hep::procsim::DistributedGraph::load(&g, &collected, k);
+        let cost = hep::procsim::ClusterCost::default();
+        let (a, b) = serial_vs_parallel(|| {
+            let (ranks, pr_cost) = hep::procsim::pagerank(&dg, 5, &cost);
+            let (dist, _) = hep::procsim::bfs_single(&dg, 0, &cost);
+            let (labels, cc_cost) = hep::procsim::connected_components(&dg, &cost);
+            let active: Vec<u32> = (0..g.num_vertices).collect();
+            (
+                ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+                pr_cost.total_msgs,
+                dist,
+                labels,
+                cc_cost.supersteps,
+                dg.superstep_cost(&active),
+            )
+        });
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dne_is_thread_invariant(seed in 0u64..1000) {
+        use hep::graph::EdgePartitioner;
+        let g = hep::gen::GraphSpec::ChungLu { n: 700, m: 5_000, gamma: 2.2 }.generate(seed);
+        let (a, b) = serial_vs_parallel(|| {
+            let mut sink = hep::graph::partitioner::CollectedAssignment::default();
+            hep::baselines::Dne::default().partition(&g, 8, &mut sink).unwrap();
+            sink.assignments
+        });
+        prop_assert_eq!(a, b);
+    }
+}
