@@ -3,14 +3,19 @@
 //! bound with its pessimistic heap constant rarely binding), while HDRF is
 //! exactly Θ(|E|·k).
 //!
-//! Also measures the `hep-par` thread scaling of the two embarrassingly
-//! parallel layers (generators and metrics scoring) at `HEP_SCALE`-sized
-//! inputs: the same workload at 1/2/4/8 workers, with outputs that are
-//! bit-identical by construction — only wall-clock may differ.
+//! Also measures the `hep-par` thread scaling of the converted layers at
+//! `HEP_SCALE`-sized inputs: the generators and metrics scoring
+//! (embarrassingly parallel), the chunked graph build (degree pass +
+//! pruned-CSR construction), and the sub-partitioned parallel NE++ phase —
+//! the same workload at 1/2/4/8 workers, with outputs that are
+//! bit-identical by construction for a fixed split factor; only wall-clock
+//! may differ. A `split_factor` sweep at a fixed worker count isolates the
+//! replication/parallelism trade-off of the SNE-style splitting.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hep_core::{Hep, HepConfig};
 use hep_graph::partitioner::{CollectedAssignment, CountingSink};
-use hep_graph::EdgePartitioner;
+use hep_graph::{DegreeStats, EdgePartitioner, PrunedCsr};
 use hep_metrics::PartitionMetrics;
 use std::time::Duration;
 
@@ -115,10 +120,81 @@ fn bench_parallel_metrics(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_graph_build(c: &mut Criterion) {
+    let scale = hep_bench::scale();
+    let m = 400_000u64 * scale as u64;
+    let g = hep_gen::GraphSpec::ChungLu { n: (m / 12) as u32, m, gamma: 2.2 }.generate(5);
+    let mut group = c.benchmark_group(&format!("par_build_{}k_edges", m / 1000));
+    for threads in THREAD_STEPS {
+        group.bench_with_input(BenchmarkId::new("degree_pass", threads), &threads, |b, &t| {
+            hep_par::set_threads(t);
+            b.iter(|| black_box(DegreeStats::new(&g, 10.0)).num_high)
+        });
+        group.bench_with_input(BenchmarkId::new("csr_build", threads), &threads, |b, &t| {
+            hep_par::set_threads(t);
+            // Stats computed once outside the loop: this row isolates the
+            // CSR construction (the degree pass has its own row above);
+            // the O(|V|) clone is noise next to the O(|E|) build.
+            let stats = DegreeStats::new(&g, 10.0);
+            b.iter(|| {
+                let mut h2h = 0u64;
+                let csr = PrunedCsr::build_streaming_h2h(&g, stats.clone(), |_| h2h += 1);
+                black_box(csr.column_entries() + h2h)
+            })
+        });
+    }
+    hep_par::set_threads(0);
+    group.finish();
+}
+
+fn bench_parallel_nepp(c: &mut Criterion) {
+    let scale = hep_bench::scale();
+    let m = 400_000u64 * scale as u64;
+    let g = hep_gen::GraphSpec::ChungLu { n: (m / 12) as u32, m, gamma: 2.2 }.generate(11);
+    let k = 32;
+    // Thread scaling at a fixed split factor: bit-identical output at every
+    // worker count, wall-clock is the variable under test.
+    let mut group = c.benchmark_group(&format!("par_nepp_{}k_edges", m / 1000));
+    for threads in THREAD_STEPS {
+        group.bench_with_input(BenchmarkId::new("hep10_split4", threads), &threads, |b, &t| {
+            hep_par::set_threads(t);
+            let mut config = HepConfig::with_tau(10.0);
+            config.split_factor = 4;
+            let hep = Hep { config };
+            b.iter(|| {
+                let mut sink = CountingSink::default();
+                hep.partition_with_report(&g, k, &mut sink).unwrap();
+                black_box(sink.counts.len())
+            })
+        });
+    }
+    hep_par::set_threads(0);
+    group.finish();
+    // Split-factor sweep at a fixed worker count: the quality/parallelism
+    // trade-off (split = 1 is the exact serial §3.2 phase).
+    let mut group = c.benchmark_group(&format!("split_sweep_{}k_edges", m / 1000));
+    hep_par::set_threads(4);
+    for split in [1u32, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("hep10_threads4", split), &split, |b, &s| {
+            let mut config = HepConfig::with_tau(10.0);
+            config.split_factor = s;
+            let hep = Hep { config };
+            b.iter(|| {
+                let mut sink = CountingSink::default();
+                hep.partition_with_report(&g, k, &mut sink).unwrap();
+                black_box(sink.counts.len())
+            })
+        });
+    }
+    hep_par::set_threads(0);
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = configured();
     targets = bench_scaling_in_edges, bench_scaling_in_k,
-        bench_parallel_generators, bench_parallel_metrics
+        bench_parallel_generators, bench_parallel_metrics,
+        bench_parallel_graph_build, bench_parallel_nepp
 }
 criterion_main!(benches);

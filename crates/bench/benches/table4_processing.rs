@@ -3,9 +3,15 @@
 //! For OK/IT/TW at k = 32: partitioning time, replication factor, and the
 //! simulated processing times of PageRank (100 iterations), BFS (10 seeds)
 //! and Connected Components, per partitioner. Table 5's vertex-replica
-//! balance (std/avg of |V(p_i)|) is printed for the HEP configurations.
+//! balance (std/avg of |V(p_i)|) is printed for the HEP configurations,
+//! followed by a per-phase wall-clock breakdown (build / nepp /
+//! cleanup-or-pack / stream) of the HEP runs — serial and sub-partitioned
+//! parallel NE++ side by side, so BENCH_*.json trajectories can attribute
+//! wins per phase.
 
 use hep_bench::{banner, load_dataset, run_partitioner};
+use hep_core::{Hep, HepConfig};
+use hep_graph::partitioner::CountingSink;
 use hep_graph::EdgePartitioner;
 use hep_metrics::table::{format_secs, Table};
 use hep_procsim::{bfs, connected_components, pagerank, ClusterCost, DistributedGraph};
@@ -60,6 +66,39 @@ fn main() {
         }
         println!("{}", t4.render());
         println!("Table 5 (vertex balancing):\n{}", t5.render());
+        // Phase-level timing of the HEP pipeline, serial vs sub-partitioned
+        // parallel NE++. The split factor follows HEP_SPLIT_FACTOR: unset
+        // defaults to 4 so the breakdown shows both paths; an explicit 1
+        // means serial-only, matching the variable's meaning everywhere
+        // else.
+        let splits: Vec<u32> =
+            match std::env::var("HEP_SPLIT_FACTOR").ok().and_then(|v| v.parse::<u32>().ok()) {
+                Some(1) => vec![1],
+                Some(v) if v > 1 => vec![1, v],
+                _ => vec![1, 4],
+            };
+        let mut tp = Table::new(["config", "split", "build", "nepp", "cleanup/pack", "stream"]);
+        for tau in [100.0, 10.0, 1.0] {
+            for &split_factor in &splits {
+                let mut config = HepConfig::with_tau(tau);
+                config.split_factor = split_factor;
+                let hep = Hep { config };
+                let mut sink = CountingSink::default();
+                let report = hep
+                    .partition_with_report(&g, k, &mut sink)
+                    .unwrap_or_else(|e| panic!("HEP-{tau} split {split_factor} failed: {e}"));
+                let t = report.timings;
+                tp.row([
+                    format!("HEP-{tau}"),
+                    format!("{split_factor}"),
+                    format_secs(t.build_secs),
+                    format_secs(t.nepp_secs),
+                    format_secs(t.cleanup_secs),
+                    format_secs(t.stream_secs),
+                ]);
+            }
+        }
+        println!("HEP phase timings (split = 1 is the serial §3.2 path):\n{}", tp.render());
     }
     println!("(paper: lowest total time usually HEP; DBH wins when processing is short;");
     println!(" on IT, balancing matters more than RF once RF saturates near 1)");

@@ -19,6 +19,30 @@ pub struct HepConfig {
     /// plain HDRF state (empty replica sets, zero loads), re-creating the
     /// "uninformed assignment problem" the hybrid design removes.
     pub informed_streaming: bool,
+    /// Sub-partitions per final partition for the parallel NE++ phase
+    /// (SNE-style splitting): `k · split_factor` sub-partitions expand in
+    /// deterministic BSP rounds and a pack stage merges them back into `k`
+    /// parts. `1` (the default) runs the exact serial NE++ of §3.2.
+    /// Defaults to the `HEP_SPLIT_FACTOR` environment variable when set.
+    pub split_factor: u32,
+    /// Gate for the sub-partitioned expansion: when false, NE++ runs
+    /// serially regardless of [`HepConfig::split_factor`]. Results at any
+    /// `HEP_THREADS` value are identical for a fixed `(parallel_nepp,
+    /// split_factor)` pair; only wall-clock differs.
+    pub parallel_nepp: bool,
+}
+
+/// `HEP_SPLIT_FACTOR` environment default, resolved once per process.
+fn env_split_factor() -> u32 {
+    use std::sync::OnceLock;
+    static SPLIT: OnceLock<u32> = OnceLock::new();
+    *SPLIT.get_or_init(|| {
+        std::env::var("HEP_SPLIT_FACTOR")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&s| s >= 1)
+            .unwrap_or(1)
+    })
 }
 
 impl Default for HepConfig {
@@ -29,6 +53,8 @@ impl Default for HepConfig {
             lambda: 1.1,
             record_trace: false,
             informed_streaming: true,
+            split_factor: env_split_factor(),
+            parallel_nepp: true,
         }
     }
 }
@@ -59,7 +85,20 @@ impl HepConfig {
                 self.lambda
             )));
         }
+        if !(1..=1024).contains(&self.split_factor) {
+            return Err(hep_graph::GraphError::InvalidConfig(format!(
+                "split_factor must be in 1..=1024, got {}",
+                self.split_factor
+            )));
+        }
         Ok(())
+    }
+
+    /// Whether this configuration routes NE++ through the sub-partitioned
+    /// BSP expansion. Trace recording forces the serial path: the column
+    /// trace is defined by the serial access sequence (§5.5).
+    pub fn uses_parallel_nepp(&self) -> bool {
+        self.parallel_nepp && self.split_factor > 1 && !self.record_trace
     }
 }
 
@@ -81,6 +120,22 @@ mod tests {
         assert!(HepConfig { tau: -1.0, ..Default::default() }.validate().is_err());
         assert!(HepConfig { alpha: 0.9, ..Default::default() }.validate().is_err());
         assert!(HepConfig { lambda: -0.1, ..Default::default() }.validate().is_err());
+        assert!(HepConfig { split_factor: 0, ..Default::default() }.validate().is_err());
+        assert!(HepConfig { split_factor: 2048, ..Default::default() }.validate().is_err());
         assert!(HepConfig::with_tau(1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn parallel_nepp_gate() {
+        let mut c = HepConfig { split_factor: 4, ..Default::default() };
+        assert!(c.uses_parallel_nepp());
+        c.record_trace = true;
+        assert!(!c.uses_parallel_nepp(), "trace recording forces the serial path");
+        c.record_trace = false;
+        c.parallel_nepp = false;
+        assert!(!c.uses_parallel_nepp());
+        c.parallel_nepp = true;
+        c.split_factor = 1;
+        assert!(!c.uses_parallel_nepp());
     }
 }

@@ -7,11 +7,15 @@
 
 use crate::config::HepConfig;
 use crate::nepp::{run_nepp, NeppStats};
+use crate::nepp_par::run_nepp_par;
 use crate::streaming::stream_h2h;
 use hep_graph::partitioner::check_inputs;
-use hep_graph::{AssignSink, DegreeStats, EdgeList, EdgePartitioner, GraphError, PrunedCsr};
+use hep_graph::{
+    AssignSink, BinaryEdgeFile, DegreeStats, EdgeList, EdgePartitioner, GraphError, PrunedCsr,
+};
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Unique-enough temp path for the externalized h2h edge file.
 fn h2h_temp_path() -> std::path::PathBuf {
@@ -42,6 +46,22 @@ pub struct Hep {
     pub config: HepConfig,
 }
 
+/// Wall-clock breakdown of one HEP run, per pipeline phase. Timings are
+/// measurements, not part of the deterministic output; `nepp_secs` includes
+/// `cleanup_secs` (the clean-up passes of Algorithm 2, or the pack stage of
+/// the sub-partitioned parallel path).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Graph building: degree pass + pruned-CSR construction + h2h spill.
+    pub build_secs: f64,
+    /// The in-memory NE++ phase (expansion + clean-up/pack).
+    pub nepp_secs: f64,
+    /// Clean-up passes (serial NE++) or the pack stage (parallel NE++).
+    pub cleanup_secs: f64,
+    /// Streaming the externalized h2h edges (file read + HDRF scoring).
+    pub stream_secs: f64,
+}
+
 /// Detailed report of a HEP run, beyond the plain edge assignment.
 pub struct HepRunReport {
     /// NE++ statistics (clean-up fractions, core/secondary degrees, ...).
@@ -60,6 +80,8 @@ pub struct HepRunReport {
     pub trace: Option<Vec<u64>>,
     /// Edge count per partition after both phases.
     pub partition_sizes: Vec<u64>,
+    /// Per-phase wall-clock breakdown.
+    pub timings: PhaseTimings,
 }
 
 impl Hep {
@@ -77,11 +99,13 @@ impl Hep {
     ) -> Result<HepRunReport, GraphError> {
         check_inputs(graph, k)?;
         self.config.validate()?;
-        // Phase 0: graph building (two passes over the edge list, §4.1),
-        // spilling h2h edges to the external edge file as they are found.
+        // Phase 0: graph building (two passes over the edge list, §4.1;
+        // both chunk-parallel on the hep-par pool), spilling h2h edges to
+        // the external edge file as they are found.
+        let build_start = Instant::now();
         let stats = DegreeStats::new(graph, self.config.tau);
         let h2h_path = h2h_temp_path();
-        let _guard = TempFileGuard(h2h_path.clone());
+        let guard = TempFileGuard(h2h_path.clone());
         let mut writer = std::io::BufWriter::new(std::fs::File::create(&h2h_path)?);
         let mut write_err: Option<std::io::Error> = None;
         let csr = PrunedCsr::build_streaming_h2h(graph, stats, |e| {
@@ -97,6 +121,68 @@ impl Hep {
         if let Some(err) = write_err {
             return Err(err.into());
         }
+        self.finish_phases(csr, k, guard, build_start.elapsed().as_secs_f64(), sink)
+    }
+
+    /// Runs both phases directly off a headered binary edge file, never
+    /// materializing an [`EdgeList`]: the degree pass and the two CSR
+    /// construction passes stream over the file with a reused read buffer
+    /// (§4.1 applied to disk). Everything after graph building — including
+    /// the parallel NE++ dispatch — is shared with
+    /// [`Hep::partition_with_report`].
+    pub fn partition_file_with_report(
+        &self,
+        file: &BinaryEdgeFile,
+        k: u32,
+        sink: &mut dyn AssignSink,
+    ) -> Result<HepRunReport, GraphError> {
+        if k < 2 {
+            return Err(GraphError::InvalidPartitionCount { k });
+        }
+        if file.num_edges() == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        self.config.validate()?;
+        let build_start = Instant::now();
+        let stats = file.degree_stats(self.config.tau)?;
+        let h2h_path = h2h_temp_path();
+        let guard = TempFileGuard(h2h_path.clone());
+        let mut writer = std::io::BufWriter::new(std::fs::File::create(&h2h_path)?);
+        let mut write_err: Option<std::io::Error> = None;
+        let csr = PrunedCsr::build_from_passes(
+            stats,
+            || file.pass(),
+            |e| {
+                let r = writer
+                    .write_all(&e.src.to_le_bytes())
+                    .and_then(|_| writer.write_all(&e.dst.to_le_bytes()));
+                if let Err(err) = r {
+                    write_err.get_or_insert(err);
+                }
+            },
+        )?;
+        writer.flush()?;
+        drop(writer);
+        if let Some(err) = write_err {
+            return Err(err.into());
+        }
+        self.finish_phases(csr, k, guard, build_start.elapsed().as_secs_f64(), sink)
+    }
+
+    /// Phases 1 and 2, shared by the in-memory and on-disk drivers: NE++
+    /// (serial, or sub-partitioned parallel per the config) followed by
+    /// informed streaming of the externalized h2h edges.
+    fn finish_phases(
+        &self,
+        csr: PrunedCsr,
+        k: u32,
+        guard: TempFileGuard,
+        build_secs: f64,
+        sink: &mut dyn AssignSink,
+    ) -> Result<HepRunReport, GraphError> {
+        let h2h_path = guard.0.clone();
+        let num_vertices = csr.num_vertices();
+        let total_edges = csr.num_edges_total();
         let degrees = csr.stats().degrees.clone();
         let mean_degree = csr.stats().mean_degree;
         let h2h_edges = csr.num_h2h_edges();
@@ -104,8 +190,18 @@ impl Hep {
         let footprint_paper_bytes = csr.memory_footprint_paper(k);
         let csr_heap_bytes = csr.heap_bytes();
         // Phase 1: in-memory partitioning via NE++ (consumes the CSR).
-        let nepp = run_nepp(csr, k, &self.config, sink);
+        // `split_factor == 1` (and trace recording) take the serial path,
+        // which reproduces the §3.2 algorithm exactly; otherwise the
+        // sub-partitioned BSP expansion runs on the hep-par pool.
+        let nepp_start = Instant::now();
+        let nepp = if self.config.uses_parallel_nepp() {
+            run_nepp_par(csr, k, &self.config, sink)
+        } else {
+            run_nepp(csr, k, &self.config, sink)
+        };
+        let nepp_secs = nepp_start.elapsed().as_secs_f64();
         // Phase 2: informed stateful streaming over the h2h edge file.
+        let stream_start = Instant::now();
         let mut read_err: Option<GraphError> = None;
         let reader = EdgeList::stream_binary(&h2h_path)?.map_while(|r| match r {
             Ok(e) => Some(e),
@@ -121,8 +217,7 @@ impl Hep {
         let (seed_sets, seed_sizes) = if informed {
             (nepp.s_sets, nepp.sizes)
         } else {
-            let empty =
-                (0..k).map(|_| hep_ds::DenseBitset::new(graph.num_vertices as usize)).collect();
+            let empty = (0..k).map(|_| hep_ds::DenseBitset::new(num_vertices as usize)).collect();
             (empty, vec![0; k as usize])
         };
         let state = stream_h2h(
@@ -130,7 +225,7 @@ impl Hep {
             &degrees,
             seed_sets,
             seed_sizes,
-            graph.num_edges(),
+            total_edges,
             self.config.lambda,
             self.config.alpha,
             sink,
@@ -138,6 +233,7 @@ impl Hep {
         if let Some(err) = read_err {
             return Err(err);
         }
+        let stream_secs = stream_start.elapsed().as_secs_f64();
         let partition_sizes = (0..k)
             .map(|p| state.load(p) + if informed { 0 } else { ne_sizes[p as usize] })
             .collect();
@@ -150,6 +246,12 @@ impl Hep {
             mean_degree,
             trace: nepp.trace,
             partition_sizes,
+            timings: PhaseTimings {
+                build_secs,
+                nepp_secs,
+                cleanup_secs: nepp.cleanup_seconds,
+                stream_secs,
+            },
         })
     }
 }
@@ -296,6 +398,88 @@ mod tests {
         let (a, _) = run(&g, 8, 10.0);
         let (b, _) = run(&g, 8, 10.0);
         assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn file_driver_matches_in_memory_run() {
+        let g = hep_gen::GraphSpec::ChungLu { n: 800, m: 7000, gamma: 2.1 }.generate(11);
+        let mut path = std::env::temp_dir();
+        path.push(format!("hep_file_driver_test_{}.hepb", std::process::id()));
+        let file = BinaryEdgeFile::write(&path, &g).unwrap();
+        let hep = Hep::with_tau(10.0);
+        let mut mem_sink = CollectedAssignment::default();
+        let mem = hep.partition_with_report(&g, 8, &mut mem_sink).unwrap();
+        let mut file_sink = CollectedAssignment::default();
+        let from_file = hep.partition_file_with_report(&file, 8, &mut file_sink).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(mem_sink.assignments, file_sink.assignments, "file driver diverged");
+        assert_eq!(mem.h2h_edges, from_file.h2h_edges);
+        assert_eq!(mem.inmem_edges, from_file.inmem_edges);
+        assert_eq!(mem.partition_sizes, from_file.partition_sizes);
+        assert!(from_file.timings.build_secs >= 0.0);
+    }
+
+    #[test]
+    fn file_driver_rejects_bad_inputs() {
+        let g = EdgeList::from_pairs([(0, 1), (1, 2)]);
+        let mut path = std::env::temp_dir();
+        path.push(format!("hep_file_driver_bad_{}.hepb", std::process::id()));
+        let file = BinaryEdgeFile::write(&path, &g).unwrap();
+        let mut sink = CountingSink::default();
+        assert!(Hep::with_tau(10.0).partition_file_with_report(&file, 1, &mut sink).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_nepp_covers_and_respects_streaming_cap() {
+        let g = hep_gen::GraphSpec::ChungLu { n: 1000, m: 8000, gamma: 2.0 }.generate(3);
+        let k = 4;
+        for split in [2u32, 4] {
+            let mut config = HepConfig::with_tau(1.0);
+            config.split_factor = split;
+            let hep = Hep { config };
+            let mut sink = CollectedAssignment::default();
+            hep.partition_with_report(&g, k, &mut sink).unwrap();
+            assert_exactly_once(&g, &sink);
+            let mut counts = vec![0u64; k as usize];
+            for &(_, p) in &sink.assignments {
+                counts[p as usize] += 1;
+            }
+            let cap = ((1.05 * 8000.0) / k as f64).ceil() as u64;
+            assert!(counts.iter().all(|&c| c <= cap), "split {split}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn split_factor_one_reproduces_serial_exactly() {
+        let g = hep_gen::GraphSpec::ChungLu { n: 600, m: 5000, gamma: 2.2 }.generate(4);
+        let serial = {
+            let mut config = HepConfig::with_tau(10.0);
+            config.parallel_nepp = false;
+            config.split_factor = 1;
+            let mut sink = CollectedAssignment::default();
+            Hep { config }.partition_with_report(&g, 8, &mut sink).unwrap();
+            sink.assignments
+        };
+        let split_one = {
+            let mut config = HepConfig::with_tau(10.0);
+            config.parallel_nepp = true;
+            config.split_factor = 1;
+            let mut sink = CollectedAssignment::default();
+            Hep { config }.partition_with_report(&g, 8, &mut sink).unwrap();
+            sink.assignments
+        };
+        assert_eq!(serial, split_one, "split_factor=1 must take the exact serial path");
+    }
+
+    #[test]
+    fn phase_timings_are_populated() {
+        let g = hep_gen::GraphSpec::ChungLu { n: 1000, m: 10_000, gamma: 2.1 }.generate(1);
+        let mut sink = CountingSink::default();
+        let report = Hep::with_tau(1.0).partition_with_report(&g, 8, &mut sink).unwrap();
+        let t = report.timings;
+        assert!(t.build_secs > 0.0 && t.nepp_secs > 0.0 && t.stream_secs > 0.0);
+        assert!(t.cleanup_secs <= t.nepp_secs, "cleanup is a sub-phase of nepp");
     }
 
     #[test]

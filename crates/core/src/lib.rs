@@ -21,12 +21,16 @@
 pub mod config;
 pub mod hep;
 pub mod nepp;
+pub mod nepp_par;
 pub mod planner;
 pub mod simple_hybrid;
 pub mod streaming;
 
 pub use config::HepConfig;
-pub use hep::{Hep, HepRunReport};
+pub use hep::{Hep, HepRunReport, PhaseTimings};
 pub use nepp::{NeppResult, NeppStats};
-pub use planner::{estimate_footprint_bytes, plan_tau, TauPlan};
+pub use nepp_par::run_nepp_par;
+pub use planner::{
+    estimate_footprint_bytes, estimate_parallel_nepp_overhead_bytes, plan_tau, TauPlan,
+};
 pub use simple_hybrid::SimpleHybrid;

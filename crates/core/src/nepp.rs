@@ -97,6 +97,11 @@ pub struct NeppResult {
     pub stats: NeppStats,
     /// Column-array access trace (word indices), when requested.
     pub trace: Option<Vec<u64>>,
+    /// Wall-clock seconds spent in the clean-up passes (Algorithm 2), or in
+    /// the pack stage of the sub-partitioned parallel path. Feeds the
+    /// phase-timing breakdown of `HepRunReport`; not part of the
+    /// deterministic output.
+    pub cleanup_seconds: f64,
 }
 
 struct Nepp<'a, S: AssignSink + ?Sized> {
@@ -111,10 +116,28 @@ struct Nepp<'a, S: AssignSink + ?Sized> {
     /// Endpoints of spilled edges, queued (with the partition that received
     /// the edge) to join that partition's S set when it starts.
     pending: Vec<(VertexId, PartitionId)>,
+    /// First partition after `cur` not yet observed full. Partition sizes
+    /// only grow, so fullness is permanent and the cursor never moves
+    /// backward — the spill search in [`Nepp::assign_edge`] is O(1)
+    /// amortized instead of an O(k) probe per spilled edge.
+    next_nonfull: u32,
     seed_cursor: u32,
     stats: NeppStats,
     trace: Option<Vec<u64>>,
+    cleanup_seconds: f64,
     sink: &'a mut S,
+}
+
+/// The adapted capacity bound (§3.2.3): `total` edges split over `parts`
+/// with balanced rounding — every cap is `⌊total/parts⌋` or `⌈total/parts⌉`
+/// and the caps sum to exactly `total`. Shared by the serial phase, the
+/// sub-partition caps and the pack-stage caps of [`crate::nepp_par`], which
+/// must all agree for the parallel path's "serial bounds hold exactly"
+/// invariant.
+pub(crate) fn balanced_caps(total: u64, parts: u32) -> Vec<u64> {
+    (0..parts as u64)
+        .map(|i| (total * (i + 1)) / parts as u64 - (total * i) / parts as u64)
+        .collect()
 }
 
 /// Runs NE++ over a pruned CSR, emitting in-memory edge assignments into
@@ -127,9 +150,7 @@ pub fn run_nepp<S: AssignSink + ?Sized>(
 ) -> NeppResult {
     let n = csr.num_vertices();
     let inmem = csr.num_inmem_edges();
-    // Adapted capacity bound (§3.2.3): |E \ E_h2h| / k, balanced rounding.
-    let caps: Vec<u64> =
-        (0..k as u64).map(|i| (inmem * (i + 1)) / k as u64 - (inmem * i) / k as u64).collect();
+    let caps = balanced_caps(inmem, k);
     let mut stats = NeppStats { column_entries: csr.column_entries(), ..Default::default() };
     stats.assigned_edges = 0;
     let mut engine = Nepp {
@@ -142,9 +163,11 @@ pub fn run_nepp<S: AssignSink + ?Sized>(
         heap: IndexedMinHeap::new(n as usize),
         cur: 0,
         pending: Vec::new(),
+        next_nonfull: 1,
         seed_cursor: 0,
         stats,
         trace: config.record_trace.then(Vec::new),
+        cleanup_seconds: 0.0,
         sink,
     };
     engine.run();
@@ -180,14 +203,33 @@ impl<'a, S: AssignSink + ?Sized> Nepp<'a, S> {
         self.core.get(v) || self.s_sets[self.cur as usize].get(v)
     }
 
+    /// First non-full partition at or after `max(next_nonfull, cur + 1)`,
+    /// or `k - 1` when everything is full (the last partition absorbs the
+    /// remainder, as in Algorithm 3). Equivalent to the naive
+    /// `(cur + 1..k).find(not full)` probe: every partition the cursor has
+    /// skipped was full when observed and sizes never shrink.
+    fn spill_target(&mut self) -> PartitionId {
+        if self.next_nonfull <= self.cur {
+            self.next_nonfull = self.cur + 1;
+        }
+        while self.next_nonfull < self.k
+            && self.sizes[self.next_nonfull as usize] >= self.caps[self.next_nonfull as usize]
+        {
+            self.next_nonfull += 1;
+        }
+        if self.next_nonfull < self.k {
+            self.next_nonfull
+        } else {
+            self.k - 1
+        }
+    }
+
     /// Emits an edge, spilling past full partitions (Algorithm 1 ll. 25–28).
     fn assign_edge(&mut self, src: VertexId, dst: VertexId) {
         let target = if self.sizes[self.cur as usize] < self.caps[self.cur as usize] {
             self.cur
         } else {
-            (self.cur + 1..self.k)
-                .find(|&p| self.sizes[p as usize] < self.caps[p as usize])
-                .unwrap_or(self.k - 1)
+            self.spill_target()
         };
         if target != self.cur {
             // Spilled endpoints join the target's secondary set; queueing
@@ -335,6 +377,7 @@ impl<'a, S: AssignSink + ?Sized> Nepp<'a, S> {
     /// entries a later partition could otherwise double-assign; pending
     /// low–high edges among them are assigned here (rule (c)).
     fn cleanup_partition(&mut self) {
+        let start = std::time::Instant::now();
         let members: Vec<VertexId> = self.s_sets[self.cur as usize].iter_ones().collect();
         for v in members {
             if self.core.get(v) || self.csr.is_high(v) {
@@ -343,6 +386,7 @@ impl<'a, S: AssignSink + ?Sized> Nepp<'a, S> {
             self.cleanup_list(v, true);
             self.cleanup_list(v, false);
         }
+        self.cleanup_seconds += start.elapsed().as_secs_f64();
     }
 
     fn cleanup_list(&mut self, v: VertexId, out: bool) {
@@ -461,18 +505,23 @@ impl<'a, S: AssignSink + ?Sized> Nepp<'a, S> {
             "NE++ must assign every in-memory edge exactly once"
         );
         // Figure 5 bookkeeping: degrees of vertices that were in some S_i
-        // but never cored.
+        // but never cored. One word-level union of the k secondary sets
+        // followed by an AND-NOT against the core replaces the old
+        // O(|V| · k) per-vertex bit probing.
         let n = self.csr.num_vertices();
-        for v in 0..n {
-            if self.core.get(v) {
-                continue;
-            }
-            if self.s_sets.iter().any(|s| s.get(v)) {
-                self.stats.secondary_only_count += 1;
-                self.stats.secondary_only_degree_sum += self.csr.stats().degree(v) as u64;
-            }
+        let mut survivors = DenseBitset::union_of(self.s_sets.iter(), n as usize);
+        survivors.difference_with(&self.core);
+        for v in survivors.iter_ones() {
+            self.stats.secondary_only_count += 1;
+            self.stats.secondary_only_degree_sum += self.csr.stats().degree(v) as u64;
         }
-        NeppResult { s_sets: self.s_sets, sizes: self.sizes, stats: self.stats, trace: self.trace }
+        NeppResult {
+            s_sets: self.s_sets,
+            sizes: self.sizes,
+            stats: self.stats,
+            trace: self.trace,
+            cleanup_seconds: self.cleanup_seconds,
+        }
     }
 }
 

@@ -34,6 +34,49 @@ fn footprint_from_entries(column_entries: u64, n: u64, k: u32) -> u64 {
     column_entries * 4 + 6 * n * 4 + n * (k as u64 + 1) / 8
 }
 
+/// Extra bytes the sub-partitioned parallel NE++ (`HepConfig::split_factor
+/// > 1`) needs on top of the §4.2 footprint: the read-only edge-id view of
+/// the in-memory edges (id → edge table, incidence ids, index array), the
+/// per-sub-partition expansion state (`k · split_factor` core/secondary
+/// bitsets and a heap position table each) and the global claimed-edge
+/// bitset. Callers planning τ against a hard budget should subtract this
+/// from the budget before invoking [`plan_tau`] when they intend to run the
+/// parallel phase — the parallel path trades memory for wall-clock, exactly
+/// like SNE against NE.
+pub fn estimate_parallel_nepp_overhead_bytes(
+    graph: &EdgeList,
+    tau: f64,
+    k: u32,
+    split_factor: u32,
+) -> u64 {
+    let stats = hep_graph::DegreeStats::new(graph, tau);
+    let mut inmem = 0u64;
+    let mut incidence = 0u64;
+    for e in &graph.edges {
+        let src_high = stats.is_high(e.src);
+        let dst_high = stats.is_high(e.dst);
+        if src_high && dst_high {
+            continue;
+        }
+        inmem += 1;
+        incidence += if !src_high && !dst_high { 2 } else { 1 };
+    }
+    let n = graph.num_vertices as u64;
+    let s = k as u64 * split_factor.max(1) as u64;
+    let subgraph = inmem * 8 + incidence * 4 + (n + 1) * 8;
+    // Per sub-partition: core + secondary bitsets, the heap's position
+    // table, and the round-local overlay bitset over the edge ids.
+    let per_sub = 2 * (n.div_ceil(64) * 8) + n * 4 + inmem.div_ceil(64) * 8;
+    // Granted edge-id lists (4 B/edge), the global claimed bitset and the
+    // ungranted-degree counters; the pack stage's vertex covers (one
+    // n-bitset per sub) and, while `s` is small enough for the dense
+    // overlap matrix, its s^2 u32 cells.
+    let bookkeeping = inmem * 4 + inmem.div_ceil(64) * 8 + n * 4;
+    let pack = s * (n.div_ceil(64) * 8)
+        + if s <= crate::nepp_par::MATRIX_MAX_SUBS { s * s * 4 } else { 0 };
+    subgraph + s * per_sub + bookkeeping + pack
+}
+
 /// Chooses the **maximum** τ from `tau_grid` whose predicted footprint fits
 /// `budget_bytes`. Returns `None` when even the smallest τ does not fit.
 ///
@@ -131,6 +174,15 @@ mod tests {
         let plan = plan_tau(&g, 8, budget, &[100.0, 10.0, 1.0]).unwrap().unwrap();
         let built = PrunedCsr::build(&g, plan.tau).memory_footprint_paper(8);
         assert!(built <= budget, "built {built} > budget {budget}");
+    }
+
+    #[test]
+    fn parallel_overhead_grows_with_split_factor_and_shrinks_with_tau() {
+        let g = graph();
+        let at = |tau, split| estimate_parallel_nepp_overhead_bytes(&g, tau, 8, split);
+        assert!(at(10.0, 4) > at(10.0, 1), "more sub-partitions, more state");
+        assert!(at(1.0, 4) <= at(100.0, 4), "lower tau, fewer in-memory edges");
+        assert!(at(10.0, 1) > 0);
     }
 
     #[test]

@@ -97,6 +97,52 @@ impl DenseBitset {
         }
     }
 
+    /// In-place difference: clears every bit of `self` that is set in
+    /// `other` (`self &= !other`), one AND-NOT per 64-bit word. Capacities
+    /// must match.
+    pub fn difference_with(&mut self, other: &DenseBitset) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// Word-level union of a family of equal-capacity bitsets. `capacity`
+    /// sizes the result when the family is empty. NE++'s Figure-5
+    /// bookkeeping unions the `k` secondary sets this way instead of
+    /// probing every `(vertex, partition)` pair.
+    pub fn union_of<'a>(
+        sets: impl IntoIterator<Item = &'a DenseBitset>,
+        capacity: usize,
+    ) -> DenseBitset {
+        let mut acc = DenseBitset::new(capacity);
+        for s in sets {
+            acc.union_with(s);
+        }
+        acc
+    }
+
+    /// Number of bits set in the union of `sets`, without materializing the
+    /// union: for each word position, OR across the family, then popcount.
+    /// The replication-factor denominator (vertices covered by at least one
+    /// partition) is exactly this count over the per-partition cover sets.
+    pub fn union_count(sets: &[DenseBitset]) -> usize {
+        let Some(first) = sets.first() else {
+            return 0;
+        };
+        debug_assert!(sets.iter().all(|s| s.capacity == first.capacity));
+        let words = first.words.len();
+        let mut count = 0usize;
+        for w in 0..words {
+            let mut or = 0u64;
+            for s in sets {
+                or |= s.words[w];
+            }
+            count += or.count_ones() as usize;
+        }
+        count
+    }
+
     /// The backing 64-bit words, least-significant bit = lowest index.
     /// Exposed so parallel consumers can scan fixed word ranges.
     #[inline]
@@ -206,6 +252,48 @@ mod tests {
         a.union_with(&b);
         assert!(a.get(1) && a.get(69));
         assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    fn difference_with_clears_common_bits() {
+        let mut a = DenseBitset::new(130);
+        let mut b = DenseBitset::new(130);
+        for i in [0u32, 5, 63, 64, 129] {
+            a.set(i);
+        }
+        b.set(5);
+        b.set(64);
+        b.set(100); // not in a: no effect
+        a.difference_with(&b);
+        let ones: Vec<u32> = a.iter_ones().collect();
+        assert_eq!(ones, vec![0, 63, 129]);
+    }
+
+    #[test]
+    fn union_of_family() {
+        let mut a = DenseBitset::new(70);
+        let mut b = DenseBitset::new(70);
+        a.set(1);
+        b.set(69);
+        let u = DenseBitset::union_of([&a, &b], 70);
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![1, 69]);
+        assert!(DenseBitset::union_of([], 70).is_empty());
+    }
+
+    #[test]
+    fn union_count_matches_materialized_union() {
+        let mut a = DenseBitset::new(200);
+        let mut b = DenseBitset::new(200);
+        let mut c = DenseBitset::new(200);
+        for i in 0..100 {
+            a.set(i * 2);
+            b.set(i);
+            c.set(199 - i);
+        }
+        let sets = [a, b, c];
+        let union = DenseBitset::union_of(sets.iter(), 200);
+        assert_eq!(DenseBitset::union_count(&sets), union.count_ones());
+        assert_eq!(DenseBitset::union_count(&[]), 0);
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Headered on-disk binary edge lists with buffered streaming ingestion.
+//!
+//! The raw pair format of [`EdgeList::write_binary`] carries no vertex
+//! count, so a consumer must materialize every edge before it can size a
+//! single array. This module adds a self-describing container so HEP can
+//! run its degree pass and CSR construction as **streaming passes over the
+//! file** — the `EdgeList` never exists in memory (§4.1's "the graph
+//! building phase reads the edge list twice", applied to disk):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"HEPB"
+//! 4       4     format version (little-endian u32, currently 1)
+//! 8       4     num_vertices   (little-endian u32)
+//! 12      8     num_edges      (little-endian u64)
+//! 20      8·m   edges: (src: u32, dst: u32) little-endian pairs
+//! ```
+//!
+//! Ingestion is *buffered zero-copy*: a pass decodes `u32` pairs directly
+//! out of the read buffer (`fill_buf`/`consume`), allocating nothing per
+//! edge and never building an intermediate `Vec<Edge>`.
+
+use crate::degrees::DegreeStats;
+use crate::edgelist::EdgeList;
+use crate::error::GraphError;
+use crate::types::Edge;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// The 4-byte magic opening every headered edge file.
+pub const MAGIC: [u8; 4] = *b"HEPB";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Header length in bytes.
+const HEADER_LEN: u64 = 20;
+
+/// Read-buffer capacity of a streaming pass. One `fill_buf` amortizes the
+/// syscall over ~128k edges.
+const PASS_BUF: usize = 1 << 20;
+
+/// A validated, headered binary edge file on disk. Opening checks the
+/// magic, version and that the payload length matches `num_edges`; passes
+/// over the edges are streaming and repeatable.
+#[derive(Clone, Debug)]
+pub struct BinaryEdgeFile {
+    path: PathBuf,
+    num_vertices: u32,
+    num_edges: u64,
+}
+
+impl BinaryEdgeFile {
+    /// Writes `graph` to `path` in the headered format.
+    pub fn write(path: impl AsRef<Path>, graph: &EdgeList) -> Result<BinaryEdgeFile, GraphError> {
+        let path = path.as_ref();
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(&MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&graph.num_vertices.to_le_bytes())?;
+        w.write_all(&graph.num_edges().to_le_bytes())?;
+        for e in &graph.edges {
+            w.write_all(&e.src.to_le_bytes())?;
+            w.write_all(&e.dst.to_le_bytes())?;
+        }
+        w.flush()?;
+        Ok(BinaryEdgeFile {
+            path: path.to_path_buf(),
+            num_vertices: graph.num_vertices,
+            num_edges: graph.num_edges(),
+        })
+    }
+
+    /// Opens and validates a headered edge file.
+    pub fn open(path: impl AsRef<Path>) -> Result<BinaryEdgeFile, GraphError> {
+        let path = path.as_ref();
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let mut r = BufReader::new(file);
+        let mut header = [0u8; HEADER_LEN as usize];
+        std::io::Read::read_exact(&mut r, &mut header)
+            .map_err(|_| GraphError::BadHeader(format!("file too short ({len} bytes)")))?;
+        if header[0..4] != MAGIC {
+            return Err(GraphError::BadHeader("missing HEPB magic".into()));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(GraphError::BadHeader(format!(
+                "unsupported version {version} (expected {VERSION})"
+            )));
+        }
+        let num_vertices = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        let num_edges = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+        let expected = HEADER_LEN + 8 * num_edges;
+        if len != expected {
+            return Err(GraphError::BadHeader(format!(
+                "payload length mismatch: {len} bytes on disk, header implies {expected}"
+            )));
+        }
+        Ok(BinaryEdgeFile { path: path.to_path_buf(), num_vertices, num_edges })
+    }
+
+    /// Declared vertex-id space (vertex ids are `0..num_vertices`).
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Declared edge count.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// The on-disk path.
+    #[inline]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Starts a streaming pass over the edges. Each call reopens the file,
+    /// so passes are repeatable (HEP's graph build takes three: degrees,
+    /// capacity count, insertion).
+    pub fn pass(&self) -> Result<EdgePass, GraphError> {
+        let mut reader = BufReader::with_capacity(PASS_BUF, File::open(&self.path)?);
+        // Skip the header; it was validated at open time.
+        let mut header = [0u8; HEADER_LEN as usize];
+        std::io::Read::read_exact(&mut reader, &mut header)?;
+        Ok(EdgePass { reader, remaining: self.num_edges, carry: Vec::new() })
+    }
+
+    /// One buffered pass computing [`DegreeStats`] at threshold factor
+    /// `tau`, without materializing the edges. Out-of-range vertex ids are
+    /// rejected (the header's `num_vertices` is a contract).
+    pub fn degree_stats(&self, tau: f64) -> Result<DegreeStats, GraphError> {
+        let n = self.num_vertices;
+        let mut degrees = vec![0u32; n as usize];
+        for e in self.pass()? {
+            let e = e?;
+            let m = e.src.max(e.dst);
+            if m >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: m, num_vertices: n });
+            }
+            degrees[e.src as usize] += 1;
+            degrees[e.dst as usize] += 1;
+        }
+        let mean = if n == 0 { 0.0 } else { 2.0 * self.num_edges as f64 / n as f64 };
+        Ok(DegreeStats::from_degrees(degrees, mean, tau))
+    }
+
+    /// Materializes the whole file as an [`EdgeList`] (tests, diagnostics
+    /// and consumers that need random access).
+    pub fn load(&self) -> Result<EdgeList, GraphError> {
+        let mut edges = Vec::with_capacity(self.num_edges as usize);
+        for e in self.pass()? {
+            edges.push(e?);
+        }
+        EdgeList::with_vertices(self.num_vertices, edges.into_iter().map(|e| (e.src, e.dst)))
+    }
+}
+
+/// A streaming pass over a [`BinaryEdgeFile`]: decodes pairs directly from
+/// the read buffer; a pair split across two buffer fills is reassembled in
+/// an 8-byte carry.
+pub struct EdgePass {
+    reader: BufReader<File>,
+    remaining: u64,
+    carry: Vec<u8>,
+}
+
+impl Iterator for EdgePass {
+    type Item = Result<Edge, GraphError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        loop {
+            let buf = match self.reader.fill_buf() {
+                Ok(b) => b,
+                Err(e) => return Some(Err(GraphError::Io(e))),
+            };
+            if buf.is_empty() {
+                // Validated length at open time; hitting EOF early means the
+                // file changed underneath us.
+                return Some(Err(GraphError::TruncatedBinary { bytes: self.carry.len() }));
+            }
+            if self.carry.is_empty() && buf.len() >= 8 {
+                let e = Edge::new(
+                    u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")),
+                    u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")),
+                );
+                self.reader.consume(8);
+                self.remaining -= 1;
+                return Some(Ok(e));
+            }
+            // Slow path: buffer boundary splits the record.
+            let take = (8 - self.carry.len()).min(buf.len());
+            self.carry.extend_from_slice(&buf[..take]);
+            self.reader.consume(take);
+            if self.carry.len() == 8 {
+                let e = Edge::new(
+                    u32::from_le_bytes(self.carry[0..4].try_into().expect("4 bytes")),
+                    u32::from_le_bytes(self.carry[4..8].try_into().expect("4 bytes")),
+                );
+                self.carry.clear();
+                self.remaining -= 1;
+                return Some(Ok(e));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hep_binfile_test_{}_{}", std::process::id(), name));
+        p
+    }
+
+    fn sample() -> EdgeList {
+        EdgeList::with_vertices(12, [(0u32, 5u32), (3, 4), (11, 2), (7, 7), (0, 1)]).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_header_and_edges() {
+        let g = sample();
+        let p = tmp("roundtrip");
+        BinaryEdgeFile::write(&p, &g).unwrap();
+        let f = BinaryEdgeFile::open(&p).unwrap();
+        assert_eq!(f.num_vertices(), 12);
+        assert_eq!(f.num_edges(), 5);
+        let back = f.load().unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn passes_are_repeatable() {
+        let g = sample();
+        let p = tmp("repeat");
+        let f = BinaryEdgeFile::write(&p, &g).unwrap();
+        let a: Vec<Edge> = f.pass().unwrap().collect::<Result<_, _>>().unwrap();
+        let b: Vec<Edge> = f.pass().unwrap().collect::<Result<_, _>>().unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(a, g.edges);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degree_stats_match_in_memory_pass() {
+        let g = sample();
+        let p = tmp("degrees");
+        let f = BinaryEdgeFile::write(&p, &g).unwrap();
+        let from_file = f.degree_stats(2.0).unwrap();
+        std::fs::remove_file(&p).ok();
+        let in_memory = DegreeStats::new(&g, 2.0);
+        assert_eq!(from_file, in_memory);
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_length() {
+        let p = tmp("badmagic");
+        std::fs::write(&p, b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00")
+            .unwrap();
+        assert!(matches!(BinaryEdgeFile::open(&p), Err(GraphError::BadHeader(_))));
+        std::fs::remove_file(&p).ok();
+
+        let p = tmp("badlen");
+        let g = sample();
+        BinaryEdgeFile::write(&p, &g).unwrap();
+        // Append a stray byte: payload no longer matches the header.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&p).unwrap();
+            f.write_all(&[0u8]).unwrap();
+        }
+        assert!(matches!(BinaryEdgeFile::open(&p), Err(GraphError::BadHeader(_))));
+        std::fs::remove_file(&p).ok();
+
+        let p = tmp("short");
+        std::fs::write(&p, b"HE").unwrap();
+        assert!(matches!(BinaryEdgeFile::open(&p), Err(GraphError::BadHeader(_))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn out_of_range_vertex_fails_degree_pass() {
+        let p = tmp("oor");
+        // Handcraft a file whose header claims 3 vertices but holds edge (0, 9).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&9u32.to_le_bytes());
+        std::fs::write(&p, bytes).unwrap();
+        let f = BinaryEdgeFile::open(&p).unwrap();
+        let err = f.degree_stats(1.0).unwrap_err();
+        std::fs::remove_file(&p).ok();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 9, .. }));
+    }
+
+    #[test]
+    fn empty_graph_file_is_fine() {
+        let g = EdgeList::with_vertices(4, std::iter::empty()).unwrap();
+        let p = tmp("empty");
+        let f = BinaryEdgeFile::write(&p, &g).unwrap();
+        assert_eq!(f.pass().unwrap().count(), 0);
+        let stats = f.degree_stats(1.0).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(stats.degrees, vec![0; 4]);
+    }
+}

@@ -8,7 +8,7 @@ use crate::edgelist::EdgeList;
 use hep_ds::DenseBitset;
 
 /// Degree statistics of a graph together with a τ classification.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DegreeStats {
     /// Undirected degree per vertex.
     pub degrees: Vec<u32>,

@@ -19,6 +19,8 @@ pub enum GraphError {
     VertexOutOfRange { vertex: u32, num_vertices: u32 },
     /// A configuration parameter was out of its valid domain.
     InvalidConfig(String),
+    /// A headered binary edge file had a malformed or inconsistent header.
+    BadHeader(String),
 }
 
 impl fmt::Display for GraphError {
@@ -39,6 +41,7 @@ impl fmt::Display for GraphError {
                 write!(f, "vertex {vertex} out of range (num_vertices={num_vertices})")
             }
             GraphError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            GraphError::BadHeader(msg) => write!(f, "bad edge file header: {msg}"),
         }
     }
 }

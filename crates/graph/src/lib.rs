@@ -14,9 +14,13 @@
 //!   high-degree vertices are omitted, edges between two high-degree vertices
 //!   are externalized into an `h2h` buffer, each vertex has separate out/in
 //!   lists with `size` fields enabling O(1) lazy edge removal (§3.2.2).
+//! * [`BinaryEdgeFile`] — a headered on-disk edge list with buffered
+//!   streaming passes, so the degree pass and CSR construction can run
+//!   directly off disk without materializing an [`EdgeList`].
 //! * [`AssignSink`] / [`EdgePartitioner`] — the interface every partitioner
 //!   in the workspace implements, so metrics and experiments are uniform.
 
+pub mod binfile;
 pub mod csr;
 pub mod degrees;
 pub mod edgelist;
@@ -25,6 +29,7 @@ pub mod partitioner;
 pub mod pruned_csr;
 pub mod types;
 
+pub use binfile::BinaryEdgeFile;
 pub use csr::Csr;
 pub use degrees::DegreeStats;
 pub use edgelist::EdgeList;

@@ -17,10 +17,23 @@
 
 use crate::degrees::DegreeStats;
 use crate::edgelist::EdgeList;
+use crate::error::GraphError;
 use crate::types::{Edge, VertexId};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Minimum edges per construction chunk of the parallel builder.
+const BUILD_CHUNK_MIN: usize = 1 << 16;
+
+/// Upper bound on the number of construction chunks. The parallel builder
+/// keeps one `2 · |V| · 4`-byte offset table per chunk, so the bound caps
+/// the transient memory of a build at `≤ 8 · BUILD_MAX_CHUNKS · |V|` bytes
+/// regardless of `|E|`. It is a function of nothing but this constant —
+/// never of the worker count — so the chunk decomposition (and therefore
+/// the built CSR) is identical at any `HEP_THREADS` value.
+const BUILD_MAX_CHUNKS: usize = 16;
 
 /// Pruned CSR with dual index arrays, size fields and an h2h edge buffer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PrunedCsr {
     stats: DegreeStats,
     /// `index_out[v]` = start of v's segment; `index_out[v+1]` = its end.
@@ -68,13 +81,32 @@ impl PrunedCsr {
     /// vertices to an external file while building the CSR" (§3.2.1). The
     /// returned CSR has an empty [`PrunedCsr::h2h_edges`] buffer but a
     /// correct [`PrunedCsr::num_inmem_edges`].
+    ///
+    /// Both construction passes run on the `hep-par` pool when it has more
+    /// than one worker: fixed edge chunks count per-chunk histograms that
+    /// are folded **in chunk order** into per-chunk insertion offsets, so
+    /// every chunk scatters into provably disjoint column slots and the
+    /// resulting CSR (including the order of entries within every adjacency
+    /// list, which NE++'s scan order depends on) is byte-identical to the
+    /// serial build at any `HEP_THREADS` value. h2h edges reach the sink in
+    /// input order in both paths.
     pub fn build_streaming_h2h(
         graph: &EdgeList,
         stats: DegreeStats,
         mut h2h_sink: impl FnMut(Edge),
     ) -> Self {
+        debug_assert_eq!(stats.degrees.len(), graph.num_vertices as usize);
+        let pool = hep_par::Pool::current();
+        if pool.threads() <= 1 || graph.edges.len() < 2 * BUILD_CHUNK_MIN {
+            Self::build_serial(graph, stats, h2h_sink)
+        } else {
+            Self::build_parallel(graph, stats, |e| h2h_sink(e))
+        }
+    }
+
+    /// The serial two-pass construction (also the `HEP_THREADS=1` path).
+    fn build_serial(graph: &EdgeList, stats: DegreeStats, mut h2h_sink: impl FnMut(Edge)) -> Self {
         let n = graph.num_vertices as usize;
-        debug_assert_eq!(stats.degrees.len(), n);
         // Pass 1: per-vertex out/in capacities, skipping pruned lists.
         let mut out_cap = vec![0u32; n];
         let mut in_cap = vec![0u32; n];
@@ -94,13 +126,7 @@ impl PrunedCsr {
                 in_cap[e.dst as usize] += 1;
             }
         }
-        // Index arrays by running sums: segment of v = out-list ++ in-list.
-        let mut index_out = vec![0u64; n + 1];
-        let mut index_in = vec![0u64; n];
-        for v in 0..n {
-            index_in[v] = index_out[v] + out_cap[v] as u64;
-            index_out[v + 1] = index_in[v] + in_cap[v] as u64;
-        }
+        let (index_out, index_in) = Self::index_arrays(&out_cap, &in_cap);
         let total = index_out[n] as usize;
         let mut col = vec![0u32; total];
         // Pass 2: insertion.
@@ -133,6 +159,196 @@ impl PrunedCsr {
             num_h2h,
             num_edges_total: graph.num_edges(),
         }
+    }
+
+    /// The chunk-parallel construction. Chunk `c`'s insertion offset for a
+    /// vertex segment is the sum of chunk `0..c`'s counts for that vertex,
+    /// so all writes land in disjoint slots and match the serial insertion
+    /// order exactly; the column array is scattered through relaxed atomic
+    /// stores (no two chunks share a slot) and unwrapped afterwards.
+    fn build_parallel(
+        graph: &EdgeList,
+        stats: DegreeStats,
+        mut h2h_sink: impl FnMut(Edge),
+    ) -> Self {
+        let n = graph.num_vertices as usize;
+        let edges = &graph.edges;
+        let pool = hep_par::Pool::current();
+        let chunk = BUILD_CHUNK_MIN.max(edges.len().div_ceil(BUILD_MAX_CHUNKS));
+        let ranges = hep_par::chunk_ranges(edges.len(), chunk);
+        let stats_ref = &stats;
+        // Pass 1: per-chunk histograms (out-count, in-count, h2h tally).
+        let mut counts: Vec<(Vec<u32>, Vec<u32>, u64)> = pool.par_map(ranges.len(), |i| {
+            let (a, b) = ranges[i];
+            let mut out = vec![0u32; n];
+            let mut inn = vec![0u32; n];
+            let mut h2h = 0u64;
+            for e in &edges[a..b] {
+                debug_assert!(!e.is_self_loop(), "input must be canonicalized");
+                let src_high = stats_ref.is_high(e.src);
+                let dst_high = stats_ref.is_high(e.dst);
+                if src_high && dst_high {
+                    h2h += 1;
+                    continue;
+                }
+                if !src_high {
+                    out[e.src as usize] += 1;
+                }
+                if !dst_high {
+                    inn[e.dst as usize] += 1;
+                }
+            }
+            (out, inn, h2h)
+        });
+        // Chunk-ordered fold: totals per vertex, and each chunk's histogram
+        // is rewritten in place into its within-segment start offset.
+        let mut out_cap = vec![0u32; n];
+        let mut in_cap = vec![0u32; n];
+        let mut num_h2h = 0u64;
+        for (out, inn, h2h) in counts.iter_mut() {
+            num_h2h += *h2h;
+            for v in 0..n {
+                let t = out[v];
+                out[v] = out_cap[v];
+                out_cap[v] += t;
+                let t = inn[v];
+                inn[v] = in_cap[v];
+                in_cap[v] += t;
+            }
+        }
+        let (index_out, index_in) = Self::index_arrays(&out_cap, &in_cap);
+        let total = index_out[n] as usize;
+        // Pass 2: disjoint-slot scatter; h2h edges come back per chunk, in
+        // chunk order, which concatenates to input order.
+        let col_atomic: Vec<AtomicU32> = (0..total).map(|_| AtomicU32::new(0)).collect();
+        let (counts_ref, col_ref) = (&counts, &col_atomic);
+        let (index_out_ref, index_in_ref) = (&index_out, &index_in);
+        let h2h_chunks: Vec<Vec<Edge>> = pool.par_map(ranges.len(), |i| {
+            let (a, b) = ranges[i];
+            let mut out_cur = counts_ref[i].0.clone();
+            let mut in_cur = counts_ref[i].1.clone();
+            let mut h2h = Vec::new();
+            for e in &edges[a..b] {
+                let src_high = stats_ref.is_high(e.src);
+                let dst_high = stats_ref.is_high(e.dst);
+                if src_high && dst_high {
+                    h2h.push(*e);
+                    continue;
+                }
+                if !src_high {
+                    let v = e.src as usize;
+                    let pos = index_out_ref[v] + out_cur[v] as u64;
+                    col_ref[pos as usize].store(e.dst, Ordering::Relaxed);
+                    out_cur[v] += 1;
+                }
+                if !dst_high {
+                    let v = e.dst as usize;
+                    let pos = index_in_ref[v] + in_cur[v] as u64;
+                    col_ref[pos as usize].store(e.src, Ordering::Relaxed);
+                    in_cur[v] += 1;
+                }
+            }
+            h2h
+        });
+        drop(counts);
+        let col: Vec<u32> = col_atomic.into_iter().map(AtomicU32::into_inner).collect();
+        for e in h2h_chunks.into_iter().flatten() {
+            h2h_sink(e);
+        }
+        PrunedCsr {
+            stats,
+            index_out,
+            index_in,
+            col,
+            out_size: out_cap,
+            in_size: in_cap,
+            h2h: Vec::new(),
+            num_h2h,
+            num_edges_total: graph.num_edges(),
+        }
+    }
+
+    /// Builds the pruned CSR from two streaming passes over an external edge
+    /// source (the binary edge file of [`crate::binfile::BinaryEdgeFile`]),
+    /// without ever materializing an [`EdgeList`]: pass 1 counts segment
+    /// capacities, pass 2 inserts. Both passes must yield the same edge
+    /// sequence; `make_pass` is called twice. h2h edges go to `h2h_sink` in
+    /// input order, exactly like [`PrunedCsr::build_streaming_h2h`].
+    pub fn build_from_passes<I>(
+        stats: DegreeStats,
+        mut make_pass: impl FnMut() -> Result<I, GraphError>,
+        mut h2h_sink: impl FnMut(Edge),
+    ) -> Result<Self, GraphError>
+    where
+        I: Iterator<Item = Result<Edge, GraphError>>,
+    {
+        let n = stats.num_vertices() as usize;
+        let mut out_cap = vec![0u32; n];
+        let mut in_cap = vec![0u32; n];
+        let mut num_h2h = 0u64;
+        let mut num_edges_total = 0u64;
+        for e in make_pass()? {
+            let e = e?;
+            num_edges_total += 1;
+            let src_high = stats.is_high(e.src);
+            let dst_high = stats.is_high(e.dst);
+            if src_high && dst_high {
+                num_h2h += 1;
+                continue;
+            }
+            if !src_high {
+                out_cap[e.src as usize] += 1;
+            }
+            if !dst_high {
+                in_cap[e.dst as usize] += 1;
+            }
+        }
+        let (index_out, index_in) = Self::index_arrays(&out_cap, &in_cap);
+        let total = index_out[n] as usize;
+        let mut col = vec![0u32; total];
+        let mut out_cursor: Vec<u64> = index_out[..n].to_vec();
+        let mut in_cursor = index_in.clone();
+        for e in make_pass()? {
+            let e = e?;
+            let src_high = stats.is_high(e.src);
+            let dst_high = stats.is_high(e.dst);
+            if src_high && dst_high {
+                h2h_sink(e);
+                continue;
+            }
+            if !src_high {
+                col[out_cursor[e.src as usize] as usize] = e.dst;
+                out_cursor[e.src as usize] += 1;
+            }
+            if !dst_high {
+                col[in_cursor[e.dst as usize] as usize] = e.src;
+                in_cursor[e.dst as usize] += 1;
+            }
+        }
+        Ok(PrunedCsr {
+            stats,
+            index_out,
+            index_in,
+            col,
+            out_size: out_cap,
+            in_size: in_cap,
+            h2h: Vec::new(),
+            num_h2h,
+            num_edges_total,
+        })
+    }
+
+    /// Dual index arrays from per-vertex capacities: the segment of `v` is
+    /// its out-list followed by its in-list.
+    fn index_arrays(out_cap: &[u32], in_cap: &[u32]) -> (Vec<u64>, Vec<u64>) {
+        let n = out_cap.len();
+        let mut index_out = vec![0u64; n + 1];
+        let mut index_in = vec![0u64; n];
+        for v in 0..n {
+            index_in[v] = index_out[v] + out_cap[v] as u64;
+            index_out[v + 1] = index_in[v] + in_cap[v] as u64;
+        }
+        (index_out, index_in)
     }
 
     /// Number of vertices.
@@ -380,6 +596,59 @@ mod tests {
         let csr = PrunedCsr::build(&g, 10.0);
         assert_eq!(csr.valid_degree(9), 0);
         assert_eq!(csr.num_vertices(), 10);
+    }
+
+    /// Deterministic pseudo-random pair stream for build tests (no hep-gen
+    /// dependency here).
+    fn pseudo_pairs(count: usize, n: u32, seed: u64) -> Vec<(u32, u32)> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..count).map(|_| ((next() % n as u64) as u32, (next() % n as u64) as u32)).collect()
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial() {
+        // Large enough to engage the chunked path (>= 2 * BUILD_CHUNK_MIN).
+        let mut g = EdgeList::from_pairs(pseudo_pairs(150_000, 9_000, 42));
+        g.canonicalize();
+        assert!(g.edges.len() >= 2 * BUILD_CHUNK_MIN, "input must reach the parallel path");
+        for tau in [1.0, 4.0] {
+            let build = || {
+                let mut h2h = Vec::new();
+                let csr =
+                    PrunedCsr::build_streaming_h2h(&g, DegreeStats::new(&g, tau), |e| h2h.push(e));
+                (csr, h2h)
+            };
+            let (serial_csr, serial_h2h) = hep_par::with_threads(1, build);
+            for threads in [2usize, 8] {
+                let (par_csr, par_h2h) = hep_par::with_threads(threads, build);
+                assert_eq!(par_csr, serial_csr, "CSR diverged at {threads} threads, tau={tau}");
+                assert_eq!(par_h2h, serial_h2h, "h2h order diverged at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn build_from_passes_matches_slice_build() {
+        let g = figure4_graph();
+        let stats = DegreeStats::new(&g, 1.5);
+        let mut h2h_a = Vec::new();
+        let a = PrunedCsr::build_streaming_h2h(&g, stats.clone(), |e| h2h_a.push(e));
+        let mut h2h_b = Vec::new();
+        let b = PrunedCsr::build_from_passes(
+            stats,
+            || Ok(g.edges.iter().copied().map(Ok)),
+            |e| h2h_b.push(e),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(h2h_a, h2h_b);
+        assert_eq!(b.num_edges_total(), g.num_edges());
     }
 
     proptest! {

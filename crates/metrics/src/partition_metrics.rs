@@ -138,13 +138,19 @@ impl PartitionMetrics {
     /// denominator is the set of vertices incident to at least one assigned
     /// edge, which equals the paper's `|V|` on graphs without isolated
     /// vertices.
+    ///
+    /// Word-level: the numerator is a popcount per cover set, the
+    /// denominator one OR-and-popcount sweep over the family
+    /// ([`DenseBitset::union_count`]) — no per-vertex replica array is
+    /// materialized. Exactly equal to the per-vertex computation (integer
+    /// sums, same division).
     pub fn replication_factor(&self) -> f64 {
-        let counts = self.replica_counts();
-        let covered = counts.iter().filter(|&&c| c > 0).count();
+        let total: u64 = self.covered.iter().map(|s| s.count_ones() as u64).sum();
+        let covered = DenseBitset::union_count(&self.covered);
         if covered == 0 {
             return 0.0;
         }
-        counts.iter().map(|&c| c as u64).sum::<u64>() as f64 / covered as f64
+        total as f64 / covered as f64
     }
 
     /// Edge balance factor `α = max_i |p_i| · k / |E|` (§2's constraint is
@@ -269,6 +275,21 @@ mod tests {
         assert!((buckets[0].0 - (2 + 1 + 1) as f64 / 3.0).abs() < 1e-12);
         assert_eq!(buckets[0].1, 3);
         assert_eq!(buckets[1], (1.0, 1));
+    }
+
+    #[test]
+    fn word_level_rf_equals_per_vertex_rf() {
+        // The word-level numerator/denominator must agree exactly with the
+        // materialized per-vertex replica counts.
+        let mut m = PartitionMetrics::new(5, 300);
+        for i in 0..280u32 {
+            m.assign(i, (i * 7 + 1) % 300, i % 5);
+            m.assign(i, (i * 13 + 2) % 300, (i * 3) % 5);
+        }
+        let counts = m.replica_counts();
+        let covered = counts.iter().filter(|&&c| c > 0).count();
+        let expect = counts.iter().map(|&c| c as u64).sum::<u64>() as f64 / covered as f64;
+        assert_eq!(m.replication_factor().to_bits(), expect.to_bits());
     }
 
     #[test]
