@@ -190,11 +190,39 @@ fn bench_parallel_nepp(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_refine(c: &mut Criterion) {
+    let scale = hep_bench::scale();
+    let m = 400_000u64 * scale as u64;
+    let g = hep_gen::GraphSpec::ChungLu { n: (m / 12) as u32, m, gamma: 2.2 }.generate(13);
+    let k = 32;
+    // Refinement-pass sweep at a fixed worker count and split factor: the
+    // marginal cost of each FM pass over the packed parts (0 = the
+    // unrefined PR 3 pack output; the RF side of the trade-off is in
+    // table4_processing and EXPERIMENTS.md).
+    let mut group = c.benchmark_group(&format!("refine_{}k_edges", m / 1000));
+    hep_par::set_threads(4);
+    for passes in [0u32, 1, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("hep10_split4", passes), &passes, |b, &p| {
+            let mut config = HepConfig::with_tau(10.0);
+            config.split_factor = 4;
+            config.refine_passes = p;
+            let hep = Hep { config };
+            b.iter(|| {
+                let mut sink = CountingSink::default();
+                hep.partition_with_report(&g, k, &mut sink).unwrap();
+                black_box(sink.counts.len())
+            })
+        });
+    }
+    hep_par::set_threads(0);
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = configured();
     targets = bench_scaling_in_edges, bench_scaling_in_k,
         bench_parallel_generators, bench_parallel_metrics,
-        bench_parallel_graph_build, bench_parallel_nepp
+        bench_parallel_graph_build, bench_parallel_nepp, bench_refine
 }
 criterion_main!(benches);

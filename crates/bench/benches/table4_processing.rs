@@ -99,6 +99,53 @@ fn main() {
             }
         }
         println!("HEP phase timings (split = 1 is the serial §3.2 path):\n{}", tp.render());
+        // Per-pass replication-factor deltas of the split path's
+        // boundary-aware FM refinement: Σ|V(p_i)| of the packed parts
+        // after each pass (pass 0 = the unrefined pack output), plus the
+        // whole-pipeline RF with refinement off and on.
+        let refine_split = *splits.iter().max().expect("non-empty");
+        if refine_split > 1 {
+            let mut tr = Table::new(["config", "pass", "Σ|V(p_i)|", "Δ vs pack", "pipeline RF"]);
+            for tau in [10.0, 1.0] {
+                let run = |passes: u32| {
+                    let mut config = HepConfig::with_tau(tau);
+                    config.split_factor = refine_split;
+                    config.refine_passes = passes;
+                    let hep = Hep { config };
+                    let mut sink = hep_graph::partitioner::CollectedAssignment::default();
+                    let report = hep
+                        .partition_with_report(&g, k, &mut sink)
+                        .unwrap_or_else(|e| panic!("HEP-{tau} refine {passes} failed: {e}"));
+                    let rf =
+                        hep_metrics::PartitionMetrics::from_assignment(k, g.num_vertices, &sink)
+                            .replication_factor();
+                    (report, rf)
+                };
+                let (_, rf_off) = run(0);
+                let (report, rf_on) = run(hep_core::DEFAULT_REFINE_PASSES);
+                let sums = &report.nepp.refine_cover_sums;
+                let base = sums.first().copied().unwrap_or(0);
+                for (pass, &sum) in sums.iter().enumerate() {
+                    tr.row([
+                        format!("HEP-{tau}"),
+                        format!("{pass}"),
+                        format!("{sum}"),
+                        format!("{:+}", sum as i64 - base as i64),
+                        if pass == 0 {
+                            format!("{rf_off:.3} (off)")
+                        } else if pass == sums.len() - 1 {
+                            format!("{rf_on:.3} (on)")
+                        } else {
+                            String::new()
+                        },
+                    ]);
+                }
+            }
+            println!(
+                "FM refinement, split = {refine_split} (pass 0 = unrefined pack):\n{}",
+                tr.render()
+            );
+        }
     }
     println!("(paper: lowest total time usually HEP; DBH wins when processing is short;");
     println!(" on IT, balancing matters more than RF once RF saturates near 1)");

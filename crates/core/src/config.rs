@@ -30,7 +30,23 @@ pub struct HepConfig {
     /// `HEP_THREADS` value are identical for a fixed `(parallel_nepp,
     /// split_factor)` pair; only wall-clock differs.
     pub parallel_nepp: bool,
+    /// Boundary-aware FM refinement passes over the packed parts of the
+    /// sub-partitioned parallel NE++ (see [`crate::refine`]): each pass
+    /// moves whole vertex-bundles of boundary edges between final parts
+    /// when the move strictly reduces `Σ|V(p_i)|`, with filler-edge
+    /// compensation so the serial balanced caps stay exact. Also enables
+    /// hub-aware conflict resolution in the BSP merge. Only the split path
+    /// (`split_factor > 1`) is affected; `0` reproduces the unrefined pack
+    /// output exactly. Defaults to the `HEP_REFINE_PASSES` environment
+    /// variable when set, else [`DEFAULT_REFINE_PASSES`].
+    pub refine_passes: u32,
 }
+
+/// Default [`HepConfig::refine_passes`] when `HEP_REFINE_PASSES` is unset:
+/// refinement is on by default for `split_factor > 1`, where the pack
+/// output otherwise carries an SNE-like replication-factor gap over the
+/// serial path.
+pub const DEFAULT_REFINE_PASSES: u32 = 2;
 
 /// `HEP_SPLIT_FACTOR` environment default, resolved once per process.
 fn env_split_factor() -> u32 {
@@ -45,6 +61,18 @@ fn env_split_factor() -> u32 {
     })
 }
 
+/// `HEP_REFINE_PASSES` environment default, resolved once per process.
+fn env_refine_passes() -> u32 {
+    use std::sync::OnceLock;
+    static PASSES: OnceLock<u32> = OnceLock::new();
+    *PASSES.get_or_init(|| {
+        std::env::var("HEP_REFINE_PASSES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .unwrap_or(DEFAULT_REFINE_PASSES)
+    })
+}
+
 impl Default for HepConfig {
     fn default() -> Self {
         HepConfig {
@@ -55,6 +83,7 @@ impl Default for HepConfig {
             informed_streaming: true,
             split_factor: env_split_factor(),
             parallel_nepp: true,
+            refine_passes: env_refine_passes(),
         }
     }
 }
@@ -91,6 +120,12 @@ impl HepConfig {
                 self.split_factor
             )));
         }
+        if self.refine_passes > 64 {
+            return Err(hep_graph::GraphError::InvalidConfig(format!(
+                "refine_passes must be in 0..=64, got {}",
+                self.refine_passes
+            )));
+        }
         Ok(())
     }
 
@@ -99,6 +134,13 @@ impl HepConfig {
     /// trace is defined by the serial access sequence (§5.5).
     pub fn uses_parallel_nepp(&self) -> bool {
         self.parallel_nepp && self.split_factor > 1 && !self.record_trace
+    }
+
+    /// Whether the split path runs the post-pack refinement (and the
+    /// hub-aware merge). `refine_passes = 0` keeps the unrefined pack
+    /// output bit-for-bit; the serial path never refines.
+    pub fn uses_refinement(&self) -> bool {
+        self.uses_parallel_nepp() && self.refine_passes > 0
     }
 }
 
@@ -122,7 +164,21 @@ mod tests {
         assert!(HepConfig { lambda: -0.1, ..Default::default() }.validate().is_err());
         assert!(HepConfig { split_factor: 0, ..Default::default() }.validate().is_err());
         assert!(HepConfig { split_factor: 2048, ..Default::default() }.validate().is_err());
+        assert!(HepConfig { refine_passes: 65, ..Default::default() }.validate().is_err());
+        assert!(HepConfig { refine_passes: 0, ..Default::default() }.validate().is_ok());
         assert!(HepConfig::with_tau(1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn refinement_gate() {
+        let base = HepConfig { split_factor: 4, refine_passes: 2, ..Default::default() };
+        assert!(base.uses_refinement());
+        assert!(!HepConfig { refine_passes: 0, ..base.clone() }.uses_refinement());
+        assert!(
+            !HepConfig { split_factor: 1, ..base.clone() }.uses_refinement(),
+            "the serial path never refines"
+        );
+        assert!(!HepConfig { record_trace: true, ..base }.uses_refinement());
     }
 
     #[test]

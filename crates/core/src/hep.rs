@@ -451,6 +451,34 @@ mod tests {
     }
 
     #[test]
+    fn refine_gate_and_default() {
+        let g = hep_gen::GraphSpec::ChungLu { n: 1000, m: 8000, gamma: 2.0 }.generate(5);
+        let run = |passes: u32| {
+            let mut config = HepConfig::with_tau(10.0);
+            config.split_factor = 4;
+            config.refine_passes = passes;
+            let hep = Hep { config };
+            let mut sink = CollectedAssignment::default();
+            let report = hep.partition_with_report(&g, 8, &mut sink).unwrap();
+            (sink, report)
+        };
+        // `refine_passes = 0` is the unrefined pack path: no refinement
+        // bookkeeping, still exactly-once.
+        let (off_sink, off) = run(0);
+        assert_exactly_once(&g, &off_sink);
+        assert_eq!(off.nepp.refine_moves, 0);
+        assert!(off.nepp.refine_cover_sums.is_empty());
+        // The default is on for split paths: moves happen, the recorded
+        // per-pass cover sums are non-increasing, output is exactly-once.
+        let (on_sink, on) = run(crate::config::DEFAULT_REFINE_PASSES);
+        assert_exactly_once(&g, &on_sink);
+        assert!(on.nepp.refine_moves > 0, "refinement should fire on this graph");
+        let sums = &on.nepp.refine_cover_sums;
+        assert!(sums.len() >= 2);
+        assert!(sums.windows(2).all(|w| w[1] <= w[0]), "{sums:?}");
+    }
+
+    #[test]
     fn split_factor_one_reproduces_serial_exactly() {
         let g = hep_gen::GraphSpec::ChungLu { n: 600, m: 5000, gamma: 2.2 }.generate(4);
         let serial = {

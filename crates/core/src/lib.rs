@@ -23,14 +23,16 @@ pub mod hep;
 pub mod nepp;
 pub mod nepp_par;
 pub mod planner;
+pub mod refine;
 pub mod simple_hybrid;
 pub mod streaming;
 
-pub use config::HepConfig;
+pub use config::{HepConfig, DEFAULT_REFINE_PASSES};
 pub use hep::{Hep, HepRunReport, PhaseTimings};
 pub use nepp::{NeppResult, NeppStats};
 pub use nepp_par::run_nepp_par;
 pub use planner::{
-    estimate_footprint_bytes, estimate_parallel_nepp_overhead_bytes, plan_tau, TauPlan,
+    estimate_footprint_bytes, estimate_parallel_nepp_overhead_bytes,
+    estimate_refine_overhead_bytes, plan_tau, TauPlan,
 };
 pub use simple_hybrid::SimpleHybrid;

@@ -52,6 +52,15 @@ pub struct NeppStats {
     pub secondary_only_degree_sum: u64,
     /// In-memory edges assigned (must equal `|E \ E_h2h|` at the end).
     pub assigned_edges: u64,
+    /// Committed vertex-bundle moves of the split path's boundary-aware FM
+    /// refinement ([`crate::refine`]); 0 on the serial path or at
+    /// `refine_passes = 0`.
+    pub refine_moves: u64,
+    /// `Σ_i |V(p_i)|` of the packed parts before refinement and after each
+    /// executed pass (non-increasing); empty when refinement did not run.
+    /// Feeds the per-pass replication-factor delta rows of
+    /// `table4_processing`.
+    pub refine_cover_sums: Vec<u64>,
 }
 
 impl NeppStats {

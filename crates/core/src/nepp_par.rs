@@ -40,7 +40,8 @@
 
 use crate::config::HepConfig;
 use crate::nepp::{balanced_caps, NeppResult, NeppStats};
-use hep_ds::{DenseBitset, IndexedMinHeap};
+use crate::refine::refine_packed_parts;
+use hep_ds::{DenseBitset, FxHashMap, IndexedMinHeap};
 use hep_graph::{AssignSink, Edge, PartitionId, PrunedCsr, VertexId};
 use std::sync::Mutex;
 
@@ -51,17 +52,18 @@ use std::sync::Mutex;
 pub(crate) const MATRIX_MAX_SUBS: u64 = 2048;
 
 /// The in-memory edge set as an edge-id incidence structure over the
-/// low-degree vertices.
-struct SubGraph {
+/// low-degree vertices. Shared with [`crate::refine`], which walks the
+/// same incidence lists to enumerate vertex bundles.
+pub(crate) struct SubGraph {
     /// Edge id → the edge as the sink should see it (same orientation the
     /// serial phase would emit).
-    edges: Vec<Edge>,
+    pub(crate) edges: Vec<Edge>,
     /// Incidence bounds per vertex (`index[v]..index[v + 1]` in `adj`);
     /// high-degree vertices own empty ranges.
-    index: Vec<u64>,
+    pub(crate) index: Vec<u64>,
     /// Incident in-memory edge ids. A low–low edge appears under both
     /// endpoints, a low–high edge under its low endpoint only.
-    adj: Vec<u32>,
+    pub(crate) adj: Vec<u32>,
 }
 
 impl SubGraph {
@@ -107,13 +109,13 @@ impl SubGraph {
     }
 
     #[inline]
-    fn num_vertices(&self) -> u32 {
+    pub(crate) fn num_vertices(&self) -> u32 {
         (self.index.len() - 1) as u32
     }
 
     /// Incident `(edge id, other endpoint)` pairs of `v`.
     #[inline]
-    fn incident(&self, v: VertexId) -> impl Iterator<Item = (u32, VertexId)> + '_ {
+    pub(crate) fn incident(&self, v: VertexId) -> impl Iterator<Item = (u32, VertexId)> + '_ {
         let (a, b) = (self.index[v as usize] as usize, self.index[v as usize + 1] as usize);
         self.adj[a..b].iter().map(move |&id| {
             let e = self.edges[id as usize];
@@ -292,6 +294,71 @@ impl SubExpansion {
     }
 }
 
+/// Decides the winners of the round's *contested* edge ids, hub-aware: a
+/// contested id incident to a hub (round-start ungranted degree ≥
+/// `hub_min_deg`) goes to the lowest sub-partition that proposed *any* of
+/// that hub's contested edges this round (when it proposed this id too),
+/// so a hub's conflicted edges concentrate on one sub-partition; other
+/// contested ids keep the plain lowest-proposer-wins rule. Uncontested
+/// ids are absent from the map — the caller's first-come grant handles
+/// them without the per-id bookkeeping this function needs. Inputs are
+/// the round's frozen proposal set and the round-start degree snapshot,
+/// so the decision is a pure function of round state —
+/// thread-count-independent like the rest of the merge.
+fn hub_aware_winners(
+    proposals: &[(u32, Vec<u32>)],
+    g: &SubGraph,
+    ungranted_deg: &[u32],
+    hub_min_deg: u32,
+) -> FxHashMap<u32, u32> {
+    // Pass 1: first proposer + proposer count per id. Per-id proposer
+    // lists are only materialized for the contested minority below.
+    let mut info: FxHashMap<u32, (u32, u32)> = FxHashMap::default();
+    for (p, ids) in proposals {
+        for &id in ids {
+            info.entry(id).and_modify(|e| e.1 += 1).or_insert((*p, 1));
+        }
+    }
+    // Pass 2, contested ids only: proposer lists, and the first (lowest)
+    // sub-partition proposing a contested edge of each hub — `proposals`
+    // is ordered by sub-partition id, so first insert wins.
+    let mut contenders: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    let mut hub_owner: FxHashMap<VertexId, u32> = FxHashMap::default();
+    for (p, ids) in proposals {
+        for &id in ids {
+            if info[&id].1 < 2 {
+                continue;
+            }
+            contenders.entry(id).or_default().push(*p);
+            let e = g.edges[id as usize];
+            for v in [e.src, e.dst] {
+                if ungranted_deg[v as usize] >= hub_min_deg {
+                    hub_owner.entry(v).or_insert(*p);
+                }
+            }
+        }
+    }
+    let mut winners = FxHashMap::default();
+    for (id, subs) in &contenders {
+        let mut winner = subs[0]; // lowest proposer: subs is in ascending p order
+        let e = g.edges[*id as usize];
+        // Side with the heavier hub decides; ties fall to the lower
+        // vertex id, then to the plain lowest-proposer rule.
+        let mut endpoints = [e.src, e.dst];
+        endpoints.sort_unstable_by_key(|&v| (std::cmp::Reverse(ungranted_deg[v as usize]), v));
+        for v in endpoints {
+            if let Some(&owner) = hub_owner.get(&v) {
+                if subs.contains(&owner) {
+                    winner = owner;
+                    break;
+                }
+            }
+        }
+        winners.insert(*id, winner);
+    }
+    winners
+}
+
 /// Runs the sub-partitioned parallel NE++ over a pruned CSR, emitting every
 /// in-memory edge into `sink` exactly once. The final `k` parts respect the
 /// serial balanced capacity bounds exactly; see the module docs for the
@@ -317,6 +384,18 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
     // round-1 expansions mutually blind, which costs replication factor.
     let batch = ((inmem / s as u64) / 32).clamp(64, 65_536) as usize;
     let pool = hep_par::Pool::current();
+    // The refinement knob also turns on hub-aware conflict resolution in
+    // the merge below (both only change the *split* path, and both are off
+    // at `refine_passes = 0`, which reproduces the unrefined output
+    // bit-for-bit). A vertex counts as a hub while its ungranted incident
+    // degree is still above this bound; conflicts on its edges then stop
+    // fragmenting it across sub-partitions.
+    let refine_passes = config.refine_passes;
+    let hub_min_deg = if n == 0 {
+        u32::MAX
+    } else {
+        ((2 * g.adj.len() as u64 / n as u64).max(8)).min(u32::MAX as u64) as u32
+    };
 
     let mut claimed = DenseBitset::new(m);
     let states: Vec<Mutex<SubExpansion>> =
@@ -361,10 +440,29 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
             });
             // Serial merge in sub-partition order: lowest id wins a
             // conflict; losers give the edge back (size compensation).
+            // With refinement on, conflicts on edges incident to a hub
+            // (high-ungranted-degree vertex) are instead awarded to the
+            // lowest sub-partition claiming *any* of that hub's contested
+            // edges this round, so the hub's edges concentrate instead of
+            // fragmenting across sub-partitions. The decision uses only
+            // the round's proposal set and the round-start degree
+            // snapshot, so it is as thread-independent as the plain rule.
+            let decided: Option<FxHashMap<u32, u32>> = (refine_passes > 0)
+                .then(|| hub_aware_winners(&proposals, &g, &ungranted_deg, hub_min_deg));
             let mut any = false;
             for (p, ids) in proposals {
                 for id in ids {
-                    if claimed.insert(id) {
+                    // Contested ids follow the hub-aware winners map;
+                    // uncontested ids (absent from it) and the plain path
+                    // use first-come-wins against the claimed bitset.
+                    let wins = match &decided {
+                        Some(winners) => {
+                            winners.get(&id).map_or_else(|| !claimed.get(id), |w| *w == p)
+                        }
+                        None => !claimed.get(id),
+                    };
+                    if wins {
+                        claimed.set(id);
                         granted[p as usize].push(id);
                         granted_total += 1;
                         let e = g.edges[id as usize];
@@ -555,19 +653,73 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
     }
     debug_assert_eq!(part_sizes.iter().sum::<u64>(), inmem);
 
-    // Emit assignments in a fixed order: per final part, packed
-    // sub-partitions first (in pack order, grant order within), then the
-    // spilled edges.
-    for p in 0..k {
-        for &sp in &packed[p as usize] {
-            for &id in &granted[sp as usize] {
+    // Boundary-aware FM refinement of the packed parts (`refine_passes >
+    // 0`): the pack output, flattened to an edge-id → part table in the
+    // unrefined emission order, is refined under the exact same caps, then
+    // re-emitted part by part in that order. `refine_passes = 0` skips all
+    // of this and emits the pack output directly — bit-for-bit the
+    // unrefined behavior.
+    let mut refine_moves = 0u64;
+    let mut refine_cover_sums: Vec<u64> = Vec::new();
+    if config.refine_passes > 0 && m > 0 {
+        // The unrefined emission sequence: per final part, packed
+        // sub-partitions (pack order, grant order within), then spill.
+        let mut emit_seq: Vec<u32> = Vec::with_capacity(m);
+        let mut owner: Vec<u32> = vec![0; m];
+        for p in 0..k {
+            for &sp in &packed[p as usize] {
+                for &id in &granted[sp as usize] {
+                    owner[id as usize] = p;
+                    emit_seq.push(id);
+                }
+            }
+            for &id in &spill_edges[p as usize] {
+                owner[id as usize] = p;
+                emit_seq.push(id);
+            }
+        }
+        let outcome = refine_packed_parts(&g, k, &caps, &part_sizes, owner, config.refine_passes);
+        refine_moves = outcome.moves;
+        refine_cover_sums = outcome.cover_sums;
+        let owner = outcome.owner;
+        // Stable re-bucketing: ids keep their relative order from the
+        // unrefined sequence within their (possibly new) part.
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); k as usize];
+        for &id in &emit_seq {
+            buckets[owner[id as usize] as usize].push(id);
+        }
+        // Replication sets shrink to the exact refined covers (they seed
+        // the streaming phase, which must see the post-move boundaries).
+        for set in &mut s_sets {
+            set.clear_all();
+        }
+        for (id, &p) in owner.iter().enumerate() {
+            let e = g.edges[id];
+            s_sets[p as usize].set(e.src);
+            s_sets[p as usize].set(e.dst);
+        }
+        for (p, ids) in buckets.iter().enumerate() {
+            debug_assert_eq!(ids.len() as u64, part_sizes[p], "refinement moved load");
+            for &id in ids {
                 let e = g.edges[id as usize];
                 sink.assign(e.src, e.dst, p as PartitionId);
             }
         }
-        for &id in &spill_edges[p as usize] {
-            let e = g.edges[id as usize];
-            sink.assign(e.src, e.dst, p as PartitionId);
+    } else {
+        // Emit assignments in a fixed order: per final part, packed
+        // sub-partitions first (in pack order, grant order within), then
+        // the spilled edges.
+        for p in 0..k {
+            for &sp in &packed[p as usize] {
+                for &id in &granted[sp as usize] {
+                    let e = g.edges[id as usize];
+                    sink.assign(e.src, e.dst, p as PartitionId);
+                }
+            }
+            for &id in &spill_edges[p as usize] {
+                let e = g.edges[id as usize];
+                sink.assign(e.src, e.dst, p as PartitionId);
+            }
         }
     }
     let pack_seconds = pack_start.elapsed().as_secs_f64();
@@ -579,6 +731,8 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
     let mut stats = NeppStats {
         column_entries: csr.column_entries(),
         assigned_edges: inmem,
+        refine_moves,
+        refine_cover_sums,
         ..Default::default()
     };
     for st in &states {

@@ -77,6 +77,26 @@ pub fn estimate_parallel_nepp_overhead_bytes(
     subgraph + s * per_sub + bookkeeping + pack
 }
 
+/// Extra bytes the boundary-aware FM refinement (`HepConfig::refine_passes
+/// > 0` on the split path) needs while it runs: the dense `k × |V|`
+/// boundary index of per-part incident-edge counts, the edge-id → part
+/// ownership table, the per-part filler pools (one id slot per in-memory
+/// edge, plus slack for moved entries), and the emission sequence. Like
+/// [`estimate_parallel_nepp_overhead_bytes`], callers planning τ against a
+/// hard budget should subtract this before invoking [`plan_tau`] when
+/// refinement is on — refinement trades transient memory for replication
+/// factor.
+pub fn estimate_refine_overhead_bytes(graph: &EdgeList, tau: f64, k: u32) -> u64 {
+    let stats = hep_graph::DegreeStats::new(graph, tau);
+    let inmem =
+        graph.edges.iter().filter(|e| !(stats.is_high(e.src) && stats.is_high(e.dst))).count()
+            as u64;
+    let n = graph.num_vertices as u64;
+    // Boundary index (k n-length u32 tables) + owner table + filler pools
+    // + emission sequence (both one u32 id per in-memory edge).
+    k as u64 * n * 4 + inmem * 4 + 2 * inmem * 4
+}
+
 /// Chooses the **maximum** τ from `tau_grid` whose predicted footprint fits
 /// `budget_bytes`. Returns `None` when even the smallest τ does not fit.
 ///
@@ -183,6 +203,15 @@ mod tests {
         assert!(at(10.0, 4) > at(10.0, 1), "more sub-partitions, more state");
         assert!(at(1.0, 4) <= at(100.0, 4), "lower tau, fewer in-memory edges");
         assert!(at(10.0, 1) > 0);
+    }
+
+    #[test]
+    fn refine_overhead_scales_with_k_and_tau() {
+        let g = graph();
+        let at = |tau, k| estimate_refine_overhead_bytes(&g, tau, k);
+        assert!(at(10.0, 32) > at(10.0, 8), "the boundary index is k x |V|");
+        assert!(at(1.0, 8) <= at(100.0, 8), "lower tau, fewer in-memory edges");
+        assert!(at(10.0, 8) > 0);
     }
 
     #[test]

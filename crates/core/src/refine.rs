@@ -1,0 +1,354 @@
+//! Boundary-aware FM refinement of the packed parts (split-path phase 1).
+//!
+//! The sub-partitioned parallel NE++ ([`crate::nepp_par`]) buys a parallel
+//! expansion at an SNE-like replication-factor cost: racing sub-partitions
+//! claim overlapping regions, and the pack stage can only merge whole
+//! sub-partitions, so the packed parts keep boundary vertices replicated
+//! that the serial NE++ would have kept internal. This module treats that
+//! gap as a bug and drives it down with Fiduccia–Mattheyses-style passes
+//! over the *final* parts, in the spirit of refinement-after-merge in
+//! multilevel (METIS-style) schemes:
+//!
+//! * **Move unit — vertex bundles.** A move takes a boundary vertex `v`
+//!   (one replicated on ≥ 2 parts) and migrates *all* edges of `v` owned by
+//!   part `a` to another part `b` that already covers `v`. The gain is the
+//!   exact change of `Σ_i |V(p_i)|` (the replication-factor numerator):
+//!   `v` always leaves `V(p_a)`; endpoints whose last `a`-edge moved leave
+//!   with it; endpoints new to `V(p_b)` count against the move. Positive
+//!   moves are always eligible; zero-gain moves are kept only when they
+//!   consolidate `v` into a strictly heavier part — the directional
+//!   hill-climbing that walks FM off its plateaus (a plateau move rewrites
+//!   the boundary so the next pass finds positive moves again; the
+//!   strict-majority condition makes ping-pong impossible). Either way the
+//!   applied change is never negative, so refinement **never increases the
+//!   replication factor** — the denominator (vertices covered by at least
+//!   one part) is invariant because every edge keeps an owner.
+//! * **Filler compensation — exact balance.** The pack stage ends with
+//!   every part exactly at its serial balanced cap, so a one-way move can
+//!   never fit. Each bundle move is therefore compensated by an equal
+//!   number of *filler* edges moved `b → a`, each with its exact cover
+//!   delta accounted into the move's total: most fillers are free or
+//!   better (endpoints still covered by `a`, removal possibly uncovering
+//!   vertices in `b`), and a filler that drags a fresh vertex into `a`'s
+//!   cover is only accepted while the total stays at or above the move's
+//!   gain floor. Edge counts per part are unchanged, so the serial
+//!   `balanced_caps` hold **exactly**, before and after every committed
+//!   move. A move without enough filler is rolled back.
+//! * **Determinism — frozen propose, ordered commit.** Each pass proposes
+//!   moves in parallel on the `hep-par` pool against a frozen snapshot of
+//!   the ownership state (fixed vertex chunks, results concatenated in
+//!   chunk order), then commits serially in a fixed order (gain descending,
+//!   then vertex / source / target id), re-validating every gain against
+//!   the live state before applying it. Proposals depend only on the
+//!   snapshot and the commit order is fixed, so the refined output is
+//!   **bit-identical at any `HEP_THREADS` value** — the same frozen-read /
+//!   ordered-commit discipline as the PR 2/3 subsystems.
+//!
+//! The boundary index behind all of this is a dense `k × |V|` table of
+//! per-part incident-edge counts (`cnt[p][v]` = edges of part `p` touching
+//! `v`); [`crate::planner::estimate_refine_overhead_bytes`] accounts for
+//! its memory so τ planning stays honest when refinement is on.
+
+use crate::nepp_par::SubGraph;
+use hep_graph::VertexId;
+
+/// Vertices per parallel proposal chunk (fixed: the decomposition must not
+/// depend on the worker count).
+const PROPOSE_CHUNK: usize = 4096;
+
+/// Pool entries a filler scan may examine per phase per move. The local
+/// (neighborhood) scan finds filler for almost every move in O(degree);
+/// the pool fallback is bounded so a pathological move costs a constant
+/// amount of work and rolls back instead of scanning a whole part.
+const FILLER_SCAN_CAP: usize = 2048;
+
+/// Result of refining a packed edge-id assignment.
+pub(crate) struct RefineOutcome {
+    /// Final owner part per edge id.
+    pub owner: Vec<u32>,
+    /// `Σ_i |V(p_i)|` before refinement and after each executed pass
+    /// (`cover_sums[0]` is the unrefined pack output; the sequence is
+    /// non-increasing). Passes stop early when one applies no move.
+    pub cover_sums: Vec<u64>,
+    /// Committed bundle moves across all passes.
+    pub moves: u64,
+}
+
+/// Moves edge `id` from part `from` to part `to`, maintaining the
+/// per-part incidence counts.
+#[inline]
+fn move_edge(id: u32, from: u32, to: u32, g: &SubGraph, owner: &mut [u32], cnt: &mut [Vec<u32>]) {
+    debug_assert_eq!(owner[id as usize], from);
+    owner[id as usize] = to;
+    let e = g.edges[id as usize];
+    for w in [e.src, e.dst] {
+        cnt[from as usize][w as usize] -= 1;
+        cnt[to as usize][w as usize] += 1;
+    }
+}
+
+/// `Σ_i |V(p_i)|` over the incidence table, computed per part on the pool.
+fn cover_sum(cnt: &[Vec<u32>]) -> u64 {
+    let pool = hep_par::Pool::current();
+    pool.par_map(cnt.len(), |p| cnt[p].iter().filter(|&&c| c > 0).count() as u64).into_iter().sum()
+}
+
+/// Runs `passes` boundary-aware FM passes over a packed edge-id
+/// assignment. `owner[id]` gives the part of every in-memory edge id of
+/// `g`; `sizes`/`caps` are the pack stage's exact part loads and serial
+/// balanced caps (every committed move preserves them edge-for-edge).
+pub(crate) fn refine_packed_parts(
+    g: &SubGraph,
+    k: u32,
+    caps: &[u64],
+    sizes: &[u64],
+    mut owner: Vec<u32>,
+    passes: u32,
+) -> RefineOutcome {
+    let n = g.num_vertices() as usize;
+    let m = g.edges.len();
+    debug_assert_eq!(owner.len(), m);
+    debug_assert!(sizes.iter().zip(caps).all(|(s, c)| s <= c));
+    let pool = hep_par::Pool::current();
+    // The boundary index: per-part incident-edge counts.
+    let mut cnt: Vec<Vec<u32>> = vec![vec![0u32; n]; k as usize];
+    for (id, &p) in owner.iter().enumerate() {
+        let e = g.edges[id];
+        cnt[p as usize][e.src as usize] += 1;
+        cnt[p as usize][e.dst as usize] += 1;
+    }
+    // Filler candidate pools per part, in edge-id order; rebuilt at every
+    // pass so stale entries (edges that moved) do not accumulate. Within
+    // a pass the owner check at scan time skips them.
+    let mut part_pool: Vec<Vec<u32>> = vec![Vec::new(); k as usize];
+    let mut cover_sums = vec![cover_sum(&cnt)];
+    let mut moves = 0u64;
+    for _ in 0..passes {
+        // ---- Propose (parallel, frozen snapshot) ----
+        let ranges = hep_par::chunk_ranges(n, PROPOSE_CHUNK);
+        let (owner_ref, cnt_ref) = (&owner, &cnt);
+        let chunks: Vec<Vec<(u32, u32, u32, u32)>> = pool.par_map(ranges.len(), |ri| {
+            let (lo, hi) = ranges[ri];
+            let mut proposals = Vec::new();
+            let mut incident: Vec<(u32, VertexId, u32)> = Vec::new();
+            let mut parts_of_v: Vec<u32> = Vec::new();
+            let mut candidates: Vec<u32> = Vec::new();
+            for v in lo as u32..hi as u32 {
+                incident.clear();
+                parts_of_v.clear();
+                for (id, u) in g.incident(v) {
+                    let p = owner_ref[id as usize];
+                    incident.push((id, u, p));
+                    if !parts_of_v.contains(&p) {
+                        parts_of_v.push(p);
+                    }
+                }
+                if parts_of_v.len() < 2 {
+                    continue; // not a boundary vertex (or high-degree: no list)
+                }
+                parts_of_v.sort_unstable();
+                // Candidate targets: parts covering v, or covering any
+                // endpoint of one of v's edges — a bundle move to a part
+                // that does not hold v yet can still win when enough of
+                // its endpoints already live there (v's own replica then
+                // migrates instead of shrinking).
+                candidates.clear();
+                candidates.extend_from_slice(&parts_of_v);
+                for &(_, u, _) in incident.iter() {
+                    for b in 0..k {
+                        if cnt_ref[b as usize][u as usize] > 0 && !candidates.contains(&b) {
+                            candidates.push(b);
+                        }
+                    }
+                }
+                candidates.sort_unstable();
+                for &a in &parts_of_v {
+                    // Vertices leaving V(p_a): v itself, plus endpoints
+                    // whose only a-edge is in the bundle.
+                    let leaves: i64 = 1 + incident
+                        .iter()
+                        .filter(|&&(_, u, p)| p == a && cnt_ref[a as usize][u as usize] == 1)
+                        .count() as i64;
+                    let mut best: Option<(i64, u32)> = None;
+                    for &b in &candidates {
+                        if b == a {
+                            continue;
+                        }
+                        let enters: i64 = (cnt_ref[b as usize][v as usize] == 0) as i64
+                            + incident
+                                .iter()
+                                .filter(|&&(_, u, p)| {
+                                    p == a && cnt_ref[b as usize][u as usize] == 0
+                                })
+                                .count() as i64;
+                        let gain = leaves - enters;
+                        // Zero-gain moves are kept only when they
+                        // consolidate v into a strictly heavier part:
+                        // directional, so they cannot ping-pong, and they
+                        // pull plateaued boundaries apart for the next
+                        // pass's positive moves (FM hill-climbing).
+                        let bundle_len =
+                            incident.iter().filter(|&&(_, _, p)| p == a).count() as u32;
+                        let ok =
+                            gain > 0 || (gain == 0 && cnt_ref[b as usize][v as usize] > bundle_len);
+                        if ok && best.map_or(true, |(bg, _)| gain > bg) {
+                            best = Some((gain, b));
+                        }
+                    }
+                    if let Some((gain, b)) = best {
+                        proposals.push((gain as u32, v, a, b));
+                    }
+                }
+            }
+            proposals
+        });
+        let mut proposals: Vec<(u32, u32, u32, u32)> = chunks.into_iter().flatten().collect();
+        proposals.sort_unstable_by_key(|&(gain, v, a, b)| (std::cmp::Reverse(gain), v, a, b));
+        // ---- Commit (serial, fixed order, live re-validation) ----
+        for pool_of in &mut part_pool {
+            pool_of.clear();
+        }
+        for (id, &p) in owner.iter().enumerate() {
+            part_pool[p as usize].push(id as u32);
+        }
+        let mut applied = 0u64;
+        let mut bundle: Vec<(u32, VertexId)> = Vec::new();
+        for &(_, v, a, b) in &proposals {
+            bundle.clear();
+            bundle.extend(g.incident(v).filter(|&(id, _)| owner[id as usize] == a));
+            if bundle.is_empty() {
+                continue; // earlier commits emptied the bundle
+            }
+            let mut gain: i64 = 1 - (cnt[b as usize][v as usize] == 0) as i64;
+            for &(_, u) in &bundle {
+                if cnt[a as usize][u as usize] == 1 {
+                    gain += 1;
+                }
+                if cnt[b as usize][u as usize] == 0 {
+                    gain -= 1;
+                }
+            }
+            // Positive moves always qualify; zero-gain moves only when
+            // they still consolidate v into a strictly heavier part (the
+            // propose-time condition, re-checked against the live state).
+            if gain < 0 || (gain == 0 && cnt[b as usize][v as usize] as usize <= bundle.len()) {
+                continue;
+            }
+            for &(id, _) in &bundle {
+                move_edge(id, a, b, g, &mut owner, &mut cnt);
+            }
+            // Filler b -> a with exact cover-delta accounting: a filler
+            // whose endpoints are all still covered by a and whose removal
+            // uncovers vertices in b has delta >= 0 (free or better); one
+            // that drags a fresh vertex into a's cover has delta < 0 and
+            // is only taken while the move's total stays strictly above
+            // the zero-gain floor. The scans are deterministic and
+            // greedy-safe: first b-edges adjacent to the bundle's own
+            // endpoints (the boundary-internal neighborhood, O(degree)
+            // and where almost every filler lives), then a bounded sweep
+            // of b's pool — non-negative fillers before paying ones.
+            let need = bundle.len();
+            let mut total: i64 = gain;
+            let mut filler: Vec<u32> = Vec::with_capacity(need);
+            let filler_delta = |id: u32, cnt: &[Vec<u32>]| -> i64 {
+                let e = g.edges[id as usize];
+                let mut delta = 0i64;
+                for w in [e.src, e.dst] {
+                    delta += (cnt[b as usize][w as usize] == 1) as i64; // leaves V(p_b)
+                    delta -= (cnt[a as usize][w as usize] == 0) as i64; // enters V(p_a)
+                }
+                delta
+            };
+            'local: for bi in 0..bundle.len() {
+                let u = bundle[bi].1;
+                for (id, w) in g.incident(u) {
+                    if filler.len() == need {
+                        break 'local;
+                    }
+                    // Skip edges back into the just-moved bundle (w == v)
+                    // and anything no longer owned by b.
+                    if w == v || owner[id as usize] != b {
+                        continue;
+                    }
+                    let delta = filler_delta(id, &cnt);
+                    if delta < 0 {
+                        continue;
+                    }
+                    move_edge(id, b, a, g, &mut owner, &mut cnt);
+                    filler.push(id);
+                    total += delta;
+                }
+            }
+            for pay_phase in [false, true] {
+                if filler.len() == need {
+                    break;
+                }
+                // Stale entries (edges that left b, including fillers
+                // chosen a moment ago) are swap-removed as encountered,
+                // so each is dropped exactly once per pass — without the
+                // compaction, every move targeting b would re-walk the
+                // growing stale prefix and the documented per-move work
+                // bound would not hold. swap_remove reorders the pool,
+                // but only as a function of the (deterministic) commit
+                // history.
+                let mut examined = 0usize;
+                let mut i = 0usize;
+                while i < part_pool[b as usize].len() {
+                    if filler.len() == need || examined == FILLER_SCAN_CAP {
+                        break;
+                    }
+                    let id = part_pool[b as usize][i];
+                    if owner[id as usize] != b {
+                        part_pool[b as usize].swap_remove(i);
+                        continue; // re-examine the swapped-in entry at i
+                    }
+                    examined += 1;
+                    let e = g.edges[id as usize];
+                    if e.src == v || e.dst == v {
+                        i += 1;
+                        continue; // never pull the moved vertex back into a
+                    }
+                    let delta = filler_delta(id, &cnt);
+                    if (!pay_phase && delta < 0) || (pay_phase && total + delta < gain.min(1)) {
+                        i += 1;
+                        continue;
+                    }
+                    move_edge(id, b, a, g, &mut owner, &mut cnt);
+                    filler.push(id);
+                    total += delta;
+                    part_pool[b as usize].swap_remove(i);
+                }
+            }
+            if filler.len() < need {
+                for &id in &filler {
+                    move_edge(id, a, b, g, &mut owner, &mut cnt);
+                }
+                for &(id, _) in &bundle {
+                    move_edge(id, b, a, g, &mut owner, &mut cnt);
+                }
+                // Rolled-back fillers are owned by b again but were
+                // swap-removed from its pool above: put them back so
+                // later moves can still see them this pass.
+                part_pool[b as usize].extend(filler.iter().copied());
+                continue;
+            }
+            part_pool[b as usize].extend(bundle.iter().map(|&(id, _)| id));
+            part_pool[a as usize].extend(filler.iter().copied());
+            applied += 1;
+        }
+        if applied == 0 {
+            break;
+        }
+        moves += applied;
+        cover_sums.push(cover_sum(&cnt));
+    }
+    #[cfg(debug_assertions)]
+    {
+        let mut check = vec![0u64; k as usize];
+        for &p in &owner {
+            check[p as usize] += 1;
+        }
+        debug_assert_eq!(&check, sizes, "refinement must preserve part loads edge-for-edge");
+    }
+    RefineOutcome { owner, cover_sums, moves }
+}

@@ -92,7 +92,18 @@ impl BinaryEdgeFile {
         }
         let num_vertices = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
         let num_edges = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
-        let expected = HEADER_LEN + 8 * num_edges;
+        // Checked arithmetic: a forged `num_edges` near `u64::MAX / 8`
+        // would otherwise wrap the expected length around to match a tiny
+        // file, and the huge count would then reach
+        // `Vec::with_capacity` in [`BinaryEdgeFile::load`].
+        let expected = num_edges
+            .checked_mul(8)
+            .and_then(|payload| payload.checked_add(HEADER_LEN))
+            .ok_or_else(|| {
+                GraphError::BadHeader(format!(
+                    "implausible num_edges {num_edges}: implied payload overflows u64"
+                ))
+            })?;
         if len != expected {
             return Err(GraphError::BadHeader(format!(
                 "payload length mismatch: {len} bytes on disk, header implies {expected}"
@@ -124,9 +135,17 @@ impl BinaryEdgeFile {
     /// capacity count, insertion).
     pub fn pass(&self) -> Result<EdgePass, GraphError> {
         let mut reader = BufReader::with_capacity(PASS_BUF, File::open(&self.path)?);
-        // Skip the header; it was validated at open time.
+        // Skip the header; it was validated at open time. A short read
+        // here means the file shrank underneath us since then — surface
+        // that as the typed header error, not a generic IO failure.
         let mut header = [0u8; HEADER_LEN as usize];
-        std::io::Read::read_exact(&mut reader, &mut header)?;
+        std::io::Read::read_exact(&mut reader, &mut header).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                GraphError::BadHeader("file truncated below header size since open".into())
+            } else {
+                GraphError::Io(e)
+            }
+        })?;
         Ok(EdgePass { reader, remaining: self.num_edges, carry: Vec::new() })
     }
 
@@ -163,6 +182,7 @@ impl BinaryEdgeFile {
 /// A streaming pass over a [`BinaryEdgeFile`]: decodes pairs directly from
 /// the read buffer; a pair split across two buffer fills is reassembled in
 /// an 8-byte carry.
+#[derive(Debug)]
 pub struct EdgePass {
     reader: BufReader<File>,
     remaining: u64,
@@ -179,12 +199,21 @@ impl Iterator for EdgePass {
         loop {
             let buf = match self.reader.fill_buf() {
                 Ok(b) => b,
-                Err(e) => return Some(Err(GraphError::Io(e))),
+                Err(e) => {
+                    // Fuse: an errored pass is dead. Without this, a
+                    // consumer draining the iterator (`for`, `last`, ...)
+                    // would receive the error forever and never terminate.
+                    self.remaining = 0;
+                    return Some(Err(GraphError::Io(e)));
+                }
             };
             if buf.is_empty() {
                 // Validated length at open time; hitting EOF early means the
-                // file changed underneath us.
-                return Some(Err(GraphError::TruncatedBinary { bytes: self.carry.len() }));
+                // file changed underneath us. Fused for the same reason as
+                // the IO arm: EOF is permanent.
+                let bytes = self.carry.len();
+                self.remaining = 0;
+                return Some(Err(GraphError::TruncatedBinary { bytes }));
             }
             if self.carry.is_empty() && buf.len() >= 8 {
                 let e = Edge::new(
@@ -286,6 +315,44 @@ mod tests {
         std::fs::write(&p, b"HE").unwrap();
         assert!(matches!(BinaryEdgeFile::open(&p), Err(GraphError::BadHeader(_))));
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn forged_overflowing_edge_count_is_rejected() {
+        // num_edges = 2^61 makes `8 * num_edges` wrap to 0, so the old
+        // unchecked length check would accept a header-only file and
+        // `load()` would attempt a 2^61-element allocation.
+        let p = tmp("forged");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&(1u64 << 61).to_le_bytes());
+        std::fs::write(&p, bytes).unwrap();
+        let err = BinaryEdgeFile::open(&p).unwrap_err();
+        std::fs::remove_file(&p).ok();
+        assert!(matches!(err, GraphError::BadHeader(_)), "got {err}");
+        assert!(err.to_string().contains("overflow"), "got {err}");
+    }
+
+    #[test]
+    fn shrunk_file_fails_passes_with_typed_errors() {
+        let g = sample();
+        let p = tmp("shrunk");
+        let f = BinaryEdgeFile::write(&p, &g).unwrap();
+        // Shrink below the header: starting a pass reports the bad header.
+        let handle = std::fs::OpenOptions::new().write(true).open(&p).unwrap();
+        handle.set_len(10).unwrap();
+        assert!(matches!(f.pass().unwrap_err(), GraphError::BadHeader(_)));
+        // Shrink mid-payload: the pass starts but ends in TruncatedBinary.
+        BinaryEdgeFile::write(&p, &g).unwrap();
+        let handle = std::fs::OpenOptions::new().write(true).open(&p).unwrap();
+        handle.set_len(HEADER_LEN + 8 * 2 + 3).unwrap();
+        // `last()` drains the iterator: the error must fuse the pass (one
+        // Err, then None), or this would loop forever.
+        let last = f.pass().unwrap().last().unwrap();
+        std::fs::remove_file(&p).ok();
+        assert!(matches!(last, Err(GraphError::TruncatedBinary { bytes: 3 })), "got {last:?}");
     }
 
     #[test]

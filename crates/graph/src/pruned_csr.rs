@@ -274,6 +274,12 @@ impl PrunedCsr {
     /// capacities, pass 2 inserts. Both passes must yield the same edge
     /// sequence; `make_pass` is called twice. h2h edges go to `h2h_sink` in
     /// input order, exactly like [`PrunedCsr::build_streaming_h2h`].
+    ///
+    /// Endpoint ids are validated against `stats.num_vertices()` on every
+    /// pass (external sources are untrusted, and the file may even change
+    /// between passes): an out-of-range id returns
+    /// [`GraphError::VertexOutOfRange`] instead of panicking on an
+    /// out-of-bounds index.
     pub fn build_from_passes<I>(
         stats: DegreeStats,
         mut make_pass: impl FnMut() -> Result<I, GraphError>,
@@ -283,12 +289,19 @@ impl PrunedCsr {
         I: Iterator<Item = Result<Edge, GraphError>>,
     {
         let n = stats.num_vertices() as usize;
+        let check_range = |e: Edge| -> Result<Edge, GraphError> {
+            let max = e.src.max(e.dst);
+            if max as usize >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: max, num_vertices: n as u32 });
+            }
+            Ok(e)
+        };
         let mut out_cap = vec![0u32; n];
         let mut in_cap = vec![0u32; n];
         let mut num_h2h = 0u64;
         let mut num_edges_total = 0u64;
         for e in make_pass()? {
-            let e = e?;
+            let e = check_range(e?)?;
             num_edges_total += 1;
             let src_high = stats.is_high(e.src);
             let dst_high = stats.is_high(e.dst);
@@ -309,7 +322,7 @@ impl PrunedCsr {
         let mut out_cursor: Vec<u64> = index_out[..n].to_vec();
         let mut in_cursor = index_in.clone();
         for e in make_pass()? {
-            let e = e?;
+            let e = check_range(e?)?;
             let src_high = stats.is_high(e.src);
             let dst_high = stats.is_high(e.dst);
             if src_high && dst_high {
@@ -649,6 +662,37 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(h2h_a, h2h_b);
         assert_eq!(b.num_edges_total(), g.num_edges());
+    }
+
+    #[test]
+    fn build_from_passes_rejects_out_of_range_ids() {
+        // Degree stats over 3 vertices, but the pass yields edge (0, 9):
+        // a typed error, not an index-out-of-bounds panic.
+        let stats = DegreeStats::from_degrees(vec![1, 1, 0], 1.0, 10.0);
+        let err = PrunedCsr::build_from_passes(
+            stats.clone(),
+            || Ok([Ok(Edge::new(0, 9))].into_iter()),
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, GraphError::VertexOutOfRange { vertex: 9, num_vertices: 3 }),
+            "got {err}"
+        );
+        // The second pass is validated too: pass 1 clean, pass 2 corrupt
+        // (an external source can change between passes).
+        let mut calls = 0;
+        let err = PrunedCsr::build_from_passes(
+            stats,
+            move || {
+                calls += 1;
+                let e = if calls == 1 { Edge::new(0, 1) } else { Edge::new(7, 1) };
+                Ok([Ok(e)].into_iter())
+            },
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 7, .. }), "got {err}");
     }
 
     proptest! {

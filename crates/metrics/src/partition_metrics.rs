@@ -51,6 +51,11 @@ impl PartitionMetrics {
     /// two were created with different `k` or vertex-id capacities.
     pub fn merge(&mut self, other: &PartitionMetrics) {
         assert_eq!(self.k, other.k, "partition count mismatch");
+        assert_eq!(
+            self.covered.first().map(|b| b.capacity()),
+            other.covered.first().map(|b| b.capacity()),
+            "vertex-id capacity mismatch: accumulators must share num_vertices"
+        );
         for (mine, theirs) in self.covered.iter_mut().zip(other.covered.iter()) {
             mine.union_with(theirs);
         }
@@ -178,6 +183,11 @@ impl PartitionMetrics {
     /// Average replication factor per degree bucket `[1,10], [11,100], ...`
     /// (Figure 2). Returns `(avg_rf, vertex_count)` per bucket; buckets with
     /// no vertices report 0.
+    ///
+    /// `degrees` may be longer than the vertex-id capacity the metrics
+    /// were created with: the excess ids cannot have been covered by any
+    /// partition, so they contribute a replica count of 0 to their bucket
+    /// instead of panicking on an out-of-bounds index.
     pub fn degree_bucket_rf(&self, degrees: &[u32]) -> Vec<(f64, u64)> {
         let counts = self.replica_counts();
         let max_bucket = degrees.iter().map(|&d| degree_bucket(d)).max().unwrap_or(0);
@@ -188,7 +198,7 @@ impl PartitionMetrics {
                 continue;
             }
             let b = degree_bucket(d);
-            sums[b] += counts[v] as u64;
+            sums[b] += counts.get(v).copied().unwrap_or(0) as u64;
             nums[b] += 1;
         }
         sums.into_iter()
@@ -290,6 +300,48 @@ mod tests {
         let covered = counts.iter().filter(|&&c| c > 0).count();
         let expect = counts.iter().map(|&c| c as u64).sum::<u64>() as f64 / covered as f64;
         assert_eq!(m.replication_factor().to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn degree_bucket_rf_tolerates_longer_degree_slice() {
+        // Metrics over 4 vertex ids, caller passes 7 degrees: the excess
+        // ids were never covered, so they count as replica 0 in their
+        // bucket — no out-of-bounds panic.
+        let mut m = PartitionMetrics::new(2, 4);
+        m.assign(0, 1, 0);
+        m.assign(0, 2, 1);
+        let degrees = vec![5, 5, 5, 0, 3, 50, 7];
+        let buckets = m.degree_bucket_rf(&degrees);
+        assert_eq!(buckets.len(), 2);
+        // Bucket 0: vertices 0 (2 replicas), 1, 2 (1 each), 4, 6 (0 each).
+        assert!((buckets[0].0 - 4.0 / 5.0).abs() < 1e-12);
+        assert_eq!(buckets[0].1, 5);
+        assert_eq!(buckets[1], (0.0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex-id capacity mismatch")]
+    fn merge_rejects_capacity_mismatch() {
+        // Same k, different num_vertices: a clear panic instead of the
+        // bitset internals' capacity assert firing mid-union.
+        let mut a = PartitionMetrics::new(2, 10);
+        let b = PartitionMetrics::new(2, 20);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn replica_counts_and_vertex_balance_are_capacity_safe() {
+        // Both derive every bound from the accumulator's own state (the
+        // capacity-mismatch class cannot reach them through arguments).
+        let mut m = PartitionMetrics::new(3, 100);
+        m.assign(0, 99, 2);
+        let counts = m.replica_counts();
+        assert_eq!(counts.len(), 100);
+        assert_eq!((counts[0], counts[99]), (1, 1));
+        assert!(m.vertex_balance() > 0.0);
+        let empty = PartitionMetrics::new(3, 0);
+        assert_eq!(empty.replica_counts(), Vec::<u32>::new());
+        assert_eq!(empty.vertex_balance(), 0.0);
     }
 
     #[test]

@@ -148,6 +148,121 @@ proptest! {
     }
 
     #[test]
+    fn refined_nepp_is_thread_invariant(
+        seed in 0u64..1000,
+        passes in prop_oneof![Just(0u32), Just(1), Just(3)],
+    ) {
+        // The boundary-aware FM refinement (and the hub-aware merge it
+        // enables) must keep the whole pipeline bitwise-equal at 1 and 8
+        // workers; `refine_passes = 0` pins the unrefined pack output on
+        // the same invariant.
+        let g = hep::gen::GraphSpec::ChungLu { n: 1_500, m: 12_000, gamma: 2.2 }.generate(seed);
+        let (a, b) = serial_vs_parallel(|| {
+            let mut config = hep::core::HepConfig::with_tau(10.0);
+            config.split_factor = 4;
+            config.refine_passes = passes;
+            let hep = hep::core::Hep { config };
+            let mut sink = hep::graph::partitioner::CollectedAssignment::default();
+            hep.partition_with_report(&g, 8, &mut sink).unwrap();
+            sink.assignments
+        });
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn refinement_preserves_caps_and_never_increases_rf(
+        seed in 0u64..1000,
+        split in 2u32..5,
+        passes in 1u32..4,
+        community in any::<bool>(),
+    ) {
+        // Phase-level safety of the FM refinement: the serial balanced
+        // caps hold exactly after every pass, the per-pass cover sums
+        // (the replication-factor numerator) never increase, and the
+        // refined phase never beats the caps by dropping edges.
+        let g = if community {
+            hep::gen::community::community_web(
+                hep::gen::community::CommunityParams::weblike(2_000, 16_000),
+                seed,
+            )
+        } else {
+            hep::gen::GraphSpec::ChungLu { n: 2_000, m: 16_000, gamma: 2.2 }.generate(seed)
+        };
+        let k = 8;
+        let phase1 = |refine_passes: u32| {
+            let csr = hep::graph::PrunedCsr::build(&g, 10.0);
+            let inmem = csr.num_inmem_edges();
+            let mut config = hep::core::HepConfig::with_tau(10.0);
+            config.split_factor = split;
+            config.refine_passes = refine_passes;
+            let mut sink = hep::graph::partitioner::CountingSink::default();
+            let result = hep::core::run_nepp_par(csr, k, &config, &mut sink);
+            (result, inmem)
+        };
+        let (unrefined, inmem) = phase1(0);
+        let (refined, _) = phase1(passes);
+        // Caps: every part within the serial balanced bounds, same load
+        // vector as the unrefined pack (filler compensation is exact).
+        prop_assert_eq!(refined.sizes.iter().sum::<u64>(), inmem);
+        prop_assert_eq!(&refined.sizes, &unrefined.sizes);
+        let ideal = inmem / k as u64;
+        for (p, &sz) in refined.sizes.iter().enumerate() {
+            prop_assert!(sz <= ideal + 1, "p{} size {} sizes {:?}", p, sz, refined.sizes);
+        }
+        // RF numerator: refined covers never exceed the unrefined ones,
+        // and the recorded per-pass sums are non-increasing.
+        let cover_sum = |r: &hep::core::NeppResult| -> u64 {
+            r.s_sets.iter().map(|s| s.count_ones() as u64).sum()
+        };
+        prop_assert!(cover_sum(&refined) <= cover_sum(&unrefined));
+        let sums = &refined.stats.refine_cover_sums;
+        if inmem > 0 {
+            prop_assert!(!sums.is_empty(), "refinement ran: cover sums recorded");
+            prop_assert_eq!(*sums.first().unwrap(), cover_sum(&unrefined));
+            prop_assert_eq!(*sums.last().unwrap(), cover_sum(&refined));
+            prop_assert!(sums.windows(2).all(|w| w[1] <= w[0]), "{:?}", sums);
+        }
+    }
+
+    #[test]
+    fn refined_split_rf_within_15_percent_of_serial_at_hep10(
+        seed in 0u64..1000,
+        community in any::<bool>(),
+    ) {
+        // The acceptance bound this subsystem exists for: at HEP-10 /
+        // split_factor = 4 (where the unrefined pack measured +15-40%
+        // over the serial path), the refined pipeline's replication
+        // factor stays within 15% of serial NE++ on both graph families.
+        let g = if community {
+            hep::gen::community::community_web(
+                hep::gen::community::CommunityParams::weblike(3_000, 24_000),
+                seed,
+            )
+        } else {
+            hep::gen::GraphSpec::ChungLu { n: 3_000, m: 24_000, gamma: 2.2 }.generate(seed)
+        };
+        let k = 8;
+        let run = |split_factor: u32, refine_passes: u32| {
+            let mut config = hep::core::HepConfig::with_tau(10.0);
+            config.split_factor = split_factor;
+            config.refine_passes = refine_passes;
+            let hep = hep::core::Hep { config };
+            let mut sink = hep::graph::partitioner::CollectedAssignment::default();
+            hep.partition_with_report(&g, k, &mut sink).unwrap();
+            hep::metrics::PartitionMetrics::from_assignment(k, g.num_vertices, &sink)
+                .replication_factor()
+        };
+        let serial_rf = run(1, 0);
+        let refined_rf = run(4, hep::core::DEFAULT_REFINE_PASSES);
+        prop_assert!(
+            refined_rf <= serial_rf * 1.15,
+            "refined split rf {} exceeds serial rf {} by more than 15%",
+            refined_rf,
+            serial_rf
+        );
+    }
+
+    #[test]
     fn subpartitioned_nepp_exactly_once_with_capacity_and_rf(
         seed in 0u64..1000,
         split in 2u32..5,
