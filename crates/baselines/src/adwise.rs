@@ -75,7 +75,7 @@ impl EdgePartitioner for Adwise {
                     true,
                 );
                 let score = score_of(&state, e, partial_deg.as_slice(), p, self.lambda);
-                if best.map_or(true, |(b, _, _)| score > b) {
+                if best.is_none_or(|(b, _, _)| score > b) {
                     best = Some((score, i, p));
                 }
             }

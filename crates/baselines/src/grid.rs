@@ -20,7 +20,7 @@ pub struct Grid {
 /// Factors `k = rows * cols` with the sides as close as possible.
 fn grid_shape(k: u32) -> (u32, u32) {
     let mut r = (k as f64).sqrt() as u32;
-    while r > 1 && k % r != 0 {
+    while r > 1 && !k.is_multiple_of(r) {
         r -= 1;
     }
     (r.max(1), k / r.max(1))
@@ -68,7 +68,7 @@ impl EdgePartitioner for Grid {
             for &p in &cs_u {
                 if cs_v.contains(&p) {
                     let cand = (loads[p as usize], p);
-                    if best.map_or(true, |b| cand < b) {
+                    if best.is_none_or(|b| cand < b) {
                         best = Some(cand);
                     }
                 }

@@ -289,9 +289,9 @@ impl EdgePartitioner for MetisLike {
         // Conversion: each edge goes to a uniformly random endpoint's part
         // (Appendix A).
         for e in &graph.edges {
-            let p = if labels[e.src as usize] == labels[e.dst as usize] {
-                labels[e.src as usize]
-            } else if rng.next_bool(0.5) {
+            // `||` short-circuits, so the RNG is consumed exactly when
+            // the endpoints disagree — same draw sequence as before.
+            let p = if labels[e.src as usize] == labels[e.dst as usize] || rng.next_bool(0.5) {
                 labels[e.src as usize]
             } else {
                 labels[e.dst as usize]

@@ -103,6 +103,7 @@ impl ReplicaState {
     /// `degree_weighted` is false). Falls back to the least-loaded partition
     /// when every partition is at the cap. Ties break toward the lower
     /// partition id, making runs deterministic.
+    #[allow(clippy::too_many_arguments)]
     pub fn best_partition(
         &self,
         u: VertexId,
@@ -133,7 +134,7 @@ impl ReplicaState {
             }
             let c_bal = lambda * (max_load - self.loads[p as usize]) as f64 / denom;
             let score = c_rep + c_bal;
-            if best.map_or(true, |(b, _)| score > b) {
+            if best.is_none_or(|(b, _)| score > b) {
                 best = Some((score, p));
             }
         }

@@ -73,7 +73,7 @@ impl EdgePartitioner for Sne {
         sink: &mut dyn AssignSink,
     ) -> Result<(), GraphError> {
         check_inputs(graph, k)?;
-        if !(self.sample_factor > 0.0) {
+        if self.sample_factor.is_nan() || self.sample_factor <= 0.0 {
             return Err(GraphError::InvalidConfig("sample_factor must be positive".into()));
         }
         let m = graph.num_edges();

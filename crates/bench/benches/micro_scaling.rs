@@ -218,11 +218,47 @@ fn bench_refine(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_refine_kernel(c: &mut Criterion) {
+    let scale = hep_bench::scale();
+    let m = 400_000u64 * scale as u64;
+    let g = hep_gen::GraphSpec::ChungLu { n: (m / 12) as u32, m, gamma: 2.2 }.generate(13);
+    // The refinement kernel in isolation (no graph build / expansion /
+    // streaming around it), over the probe's synthetic maximal-boundary
+    // assignment: the pure cost of propose + gain-bucket commit. The
+    // pass sweep shows the marginal cost per pass; the thread sweep shows
+    // the parallel commit (conflict-group waves on persistent workers) —
+    // output is bit-identical at every worker count by construction.
+    let mut group = c.benchmark_group(&format!("refine_kernel_{}k_edges", m / 1000));
+    for k in [8u32, 32] {
+        let probe = hep_core::RefineProbe::build(&g, 10.0, k, 4);
+        hep_par::set_threads(4);
+        for passes in [1u32, 2] {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("k{k}_threads4"), passes),
+                &passes,
+                |b, &p| b.iter(|| black_box(probe.run(p).moves)),
+            );
+        }
+    }
+    // Thread sweep of the parallel commit at k = 32 (1 worker = the plain
+    // serial queue drain).
+    let probe = hep_core::RefineProbe::build(&g, 10.0, 32, 4);
+    for threads in [1usize, 4, 8] {
+        hep_par::set_threads(threads);
+        group.bench_with_input(BenchmarkId::new("k32_pass1", threads), &threads, |b, _| {
+            b.iter(|| black_box(probe.run(1).moves))
+        });
+    }
+    hep_par::set_threads(0);
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = configured();
     targets = bench_scaling_in_edges, bench_scaling_in_k,
         bench_parallel_generators, bench_parallel_metrics,
-        bench_parallel_graph_build, bench_parallel_nepp, bench_refine
+        bench_parallel_graph_build, bench_parallel_nepp, bench_refine,
+        bench_refine_kernel
 }
 criterion_main!(benches);

@@ -96,19 +96,19 @@ impl HepConfig {
 
     /// Validates parameter domains.
     pub fn validate(&self) -> Result<(), hep_graph::GraphError> {
-        if !(self.tau > 0.0) {
+        if self.tau.is_nan() || self.tau <= 0.0 {
             return Err(hep_graph::GraphError::InvalidConfig(format!(
                 "tau must be positive, got {}",
                 self.tau
             )));
         }
-        if !(self.alpha >= 1.0) {
+        if self.alpha.is_nan() || self.alpha < 1.0 {
             return Err(hep_graph::GraphError::InvalidConfig(format!(
                 "alpha must be >= 1, got {}",
                 self.alpha
             )));
         }
-        if !(self.lambda >= 0.0) {
+        if self.lambda.is_nan() || self.lambda < 0.0 {
             return Err(hep_graph::GraphError::InvalidConfig(format!(
                 "lambda must be >= 0, got {}",
                 self.lambda

@@ -233,6 +233,7 @@ impl Hep {
         if let Some(err) = read_err {
             return Err(err);
         }
+        let state = state?;
         let stream_secs = stream_start.elapsed().as_secs_f64();
         let partition_sizes = (0..k)
             .map(|p| state.load(p) + if informed { 0 } else { ne_sizes[p as usize] })

@@ -35,4 +35,5 @@ pub use planner::{
     estimate_footprint_bytes, estimate_parallel_nepp_overhead_bytes,
     estimate_refine_overhead_bytes, plan_tau, TauPlan,
 };
+pub use refine::{RefineProbe, RefineProbeRun};
 pub use simple_hybrid::SimpleHybrid;

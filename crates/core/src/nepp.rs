@@ -61,6 +61,12 @@ pub struct NeppStats {
     /// Feeds the per-pass replication-factor delta rows of
     /// `table4_processing`.
     pub refine_cover_sums: Vec<u64>,
+    /// Stale refine commit-queue entries whose live ownership re-check
+    /// failed mid-move and were skipped (with the half-applied move rolled
+    /// back) instead of corrupting the owner table. Always 0 in a correct
+    /// run — the counter exists so release builds surface the anomaly
+    /// instead of compiling the old `debug_assert` away.
+    pub refine_stale_skips: u64,
 }
 
 impl NeppStats {

@@ -70,7 +70,7 @@ impl SubGraph {
     /// Re-indexes the pruned CSR. Edge ids follow the CSR enumeration order
     /// (out-lists, then high-source in-entries, per vertex), which depends
     /// only on the CSR — not on thread count.
-    fn build(csr: &PrunedCsr) -> SubGraph {
+    pub(crate) fn build(csr: &PrunedCsr) -> SubGraph {
         let n = csr.num_vertices();
         let mut index = vec![0u64; n as usize + 1];
         for v in 0..n {
@@ -610,7 +610,7 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
                     continue;
                 }
                 let ov = score_of(sp, &packed[p as usize]);
-                if ov > here && best.map_or(true, |(bo, _)| ov > bo) {
+                if ov > here && best.is_none_or(|(bo, _)| ov > bo) {
                     best = Some((ov, p));
                 }
             }
@@ -661,6 +661,7 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
     // unrefined behavior.
     let mut refine_moves = 0u64;
     let mut refine_cover_sums: Vec<u64> = Vec::new();
+    let mut refine_stale_skips = 0u64;
     if config.refine_passes > 0 && m > 0 {
         // The unrefined emission sequence: per final part, packed
         // sub-partitions (pack order, grant order within), then spill.
@@ -681,6 +682,7 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
         let outcome = refine_packed_parts(&g, k, &caps, &part_sizes, owner, config.refine_passes);
         refine_moves = outcome.moves;
         refine_cover_sums = outcome.cover_sums;
+        refine_stale_skips = outcome.stale_skips;
         let owner = outcome.owner;
         // Stable re-bucketing: ids keep their relative order from the
         // unrefined sequence within their (possibly new) part.
@@ -733,6 +735,7 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
         assigned_edges: inmem,
         refine_moves,
         refine_cover_sums,
+        refine_stale_skips,
         ..Default::default()
     };
     for st in &states {

@@ -23,9 +23,12 @@ pub struct TauPlan {
 /// CSR: `Σ_{v∈V_l} d(v)·b_id + 6·|V|·b_id + |V|·(k+1)/8` with `b_id = 4`.
 pub fn estimate_footprint_bytes(graph: &EdgeList, tau: f64, k: u32) -> u64 {
     let degrees = graph.degrees();
-    let threshold = tau * graph.mean_degree();
-    let column_entries: u64 =
-        degrees.iter().filter(|&&d| d as f64 <= threshold).map(|&d| d as u64).sum();
+    let mean = graph.mean_degree();
+    let column_entries: u64 = degrees
+        .iter()
+        .filter(|&&d| hep_graph::degrees::is_low_degree(d, tau, mean))
+        .map(|&d| d as u64)
+        .sum();
     footprint_from_entries(column_entries, graph.num_vertices as u64, k)
 }
 
@@ -34,9 +37,10 @@ fn footprint_from_entries(column_entries: u64, n: u64, k: u32) -> u64 {
     column_entries * 4 + 6 * n * 4 + n * (k as u64 + 1) / 8
 }
 
-/// Extra bytes the sub-partitioned parallel NE++ (`HepConfig::split_factor
-/// > 1`) needs on top of the §4.2 footprint: the read-only edge-id view of
-/// the in-memory edges (id → edge table, incidence ids, index array), the
+/// Extra bytes the sub-partitioned parallel NE++
+/// (`HepConfig::split_factor > 1`) needs on top of the §4.2 footprint: the
+/// read-only edge-id view of the in-memory edges (id → edge table,
+/// incidence ids, index array), the
 /// per-sub-partition expansion state (`k · split_factor` core/secondary
 /// bitsets and a heap position table each) and the global claimed-edge
 /// bitset. Callers planning τ against a hard budget should subtract this
@@ -77,24 +81,55 @@ pub fn estimate_parallel_nepp_overhead_bytes(
     subgraph + s * per_sub + bookkeeping + pack
 }
 
-/// Extra bytes the boundary-aware FM refinement (`HepConfig::refine_passes
-/// > 0` on the split path) needs while it runs: the dense `k × |V|`
-/// boundary index of per-part incident-edge counts, the edge-id → part
-/// ownership table, the per-part filler pools (one id slot per in-memory
-/// edge, plus slack for moved entries), and the emission sequence. Like
-/// [`estimate_parallel_nepp_overhead_bytes`], callers planning τ against a
-/// hard budget should subtract this before invoking [`plan_tau`] when
-/// refinement is on — refinement trades transient memory for replication
-/// factor.
+/// Extra bytes the boundary-aware FM refinement
+/// (`HepConfig::refine_passes > 0` on the split path) needs while it runs
+/// — an upper bound the alloc-tracked property test
+/// (`tests/refine_memory.rs`) verifies against the measured peak:
+///
+/// * the **sparse boundary index**: per-vertex sorted rows of
+///   `(part, count)` entries with fixed capacity `min(d(v), k)` over the
+///   in-memory degree (sufficient because a part covers `v` only through
+///   an incident in-memory edge it owns) — `8` bytes per entry plus `12`
+///   per vertex of row bookkeeping. Unlike the dense `k × |V|` matrix it
+///   replaced, this term **saturates in `k`** once `k` exceeds a vertex's
+///   degree;
+/// * the edge-id → part ownership table (u32 per in-memory edge, with
+///   slack for the atomic conversion, the owner copy handed in, and the
+///   emission sequence);
+/// * the per-part filler pools (one u32 id per in-memory edge, plus
+///   growth and rollback slack);
+/// * the proposal buffers and gain-bucket commit queue, bounded by the
+///   boundary-capable entries (vertices with in-memory degree ≥ 2 — a
+///   degree-1 vertex can never be a boundary vertex), including the
+///   private per-move overlays of the parallel commit.
+///
+/// Like [`estimate_parallel_nepp_overhead_bytes`], callers planning τ
+/// against a hard budget should subtract this before invoking [`plan_tau`]
+/// when refinement is on — refinement trades transient memory for
+/// replication factor. The structural terms are exact; the queue bound is
+/// conservative when boundaries are small, but no term scales as
+/// `k × |V|`.
 pub fn estimate_refine_overhead_bytes(graph: &EdgeList, tau: f64, k: u32) -> u64 {
     let stats = hep_graph::DegreeStats::new(graph, tau);
-    let inmem =
-        graph.edges.iter().filter(|e| !(stats.is_high(e.src) && stats.is_high(e.dst))).count()
-            as u64;
     let n = graph.num_vertices as u64;
-    // Boundary index (k n-length u32 tables) + owner table + filler pools
-    // + emission sequence (both one u32 id per in-memory edge).
-    k as u64 * n * 4 + inmem * 4 + 2 * inmem * 4
+    let mut inmem = 0u64;
+    let mut inmem_degree = vec![0u32; graph.num_vertices as usize];
+    for e in &graph.edges {
+        if stats.is_high(e.src) && stats.is_high(e.dst) {
+            continue;
+        }
+        inmem += 1;
+        inmem_degree[e.src as usize] += 1;
+        inmem_degree[e.dst as usize] += 1;
+    }
+    let entries: u64 = inmem_degree.iter().map(|&d| d.min(k) as u64).sum();
+    let boundary_entries: u64 =
+        inmem_degree.iter().filter(|&&d| d >= 2).map(|&d| d.min(k) as u64).sum();
+    let index = 12 * n + 8 + 8 * entries;
+    let owner = 12 * inmem;
+    let pools = 12 * inmem;
+    let queue = 48 * boundary_entries;
+    index + owner + pools + queue
 }
 
 /// Chooses the **maximum** τ from `tau_grid` whose predicted footprint fits
@@ -110,7 +145,7 @@ pub fn plan_tau(
     if tau_grid.is_empty() {
         return Err(GraphError::InvalidConfig("tau grid must not be empty".into()));
     }
-    if tau_grid.iter().any(|&t| !(t > 0.0)) {
+    if tau_grid.iter().any(|&t| t.is_nan() || t <= 0.0) {
         return Err(GraphError::InvalidConfig("tau values must be positive".into()));
     }
     let degrees = graph.degrees();
@@ -128,8 +163,17 @@ pub fn plan_tau(
     let mut grid: Vec<f64> = tau_grid.to_vec();
     grid.sort_by(|a, b| b.partial_cmp(a).expect("no NaN in tau grid"));
     for tau in grid {
-        let threshold = (tau * mean).floor() as usize; // low iff d <= τ·mean
-        let entries = weight_upto[(threshold + 1).min(weight_upto.len() - 1)];
+        // The shared §3.1 predicate in histogram form: low iff d <= cutoff.
+        // The old inline `(tau * mean).floor() as usize` saturated at huge
+        // τ and overflowed the index arithmetic below. `None` is reachable
+        // only through an ill-defined threshold (τ = ∞ on an edgeless
+        // graph makes ∞ · 0 = NaN); `is_low_degree` classifies nothing as
+        // low under a NaN threshold, so the histogram form agrees by
+        // counting zero entries.
+        let entries = match hep_graph::degrees::low_degree_cutoff(tau, mean, max_d as u32) {
+            Some(cutoff) => weight_upto[cutoff as usize + 1],
+            None => 0,
+        };
         let bytes = footprint_from_entries(entries, n, k);
         if bytes <= budget_bytes {
             return Ok(Some(TauPlan { tau, estimated_bytes: bytes }));
@@ -209,9 +253,38 @@ mod tests {
     fn refine_overhead_scales_with_k_and_tau() {
         let g = graph();
         let at = |tau, k| estimate_refine_overhead_bytes(&g, tau, k);
-        assert!(at(10.0, 32) > at(10.0, 8), "the boundary index is k x |V|");
+        assert!(at(10.0, 32) > at(10.0, 8), "more parts, more coverable entries");
         assert!(at(1.0, 8) <= at(100.0, 8), "lower tau, fewer in-memory edges");
         assert!(at(10.0, 8) > 0);
+        // The sparse index saturates in k (min(d(v), k) hits d(v) for every
+        // vertex) instead of scaling as k x |V| like the dense matrix did.
+        assert_eq!(
+            at(100.0, 20_000),
+            at(100.0, 40_000),
+            "estimate must stop growing once k exceeds the max degree"
+        );
+    }
+
+    #[test]
+    fn histogram_cut_agrees_with_float_estimate() {
+        // The τ planner's prefix-sum evaluation and the per-vertex float
+        // estimate funnel through the same shared predicate now; the
+        // chosen plan's bytes must match the direct estimate exactly —
+        // including τ huge enough that the old `(τ·mean).floor() as usize`
+        // saturated and overflowed the histogram index (a debug panic /
+        // wrong-answer release bug before PR 5).
+        let g = graph();
+        for tau in [0.5, 1.0, 3.0, 10.0, 1e18, 1e300] {
+            let plan = plan_tau(&g, 16, u64::MAX, &[tau]).unwrap().unwrap();
+            assert_eq!(plan.estimated_bytes, estimate_footprint_bytes(&g, tau, 16), "tau={tau}");
+        }
+        // Integral τ·mean: craft a graph with mean degree exactly 2 (a
+        // cycle), so τ = 3 puts the threshold exactly on degree 6 — the
+        // boundary the duplicated forms used to disagree on.
+        let cyc = hep_gen::spec::GraphSpec::Cycle { n: 100 }.generate(0);
+        assert!((cyc.mean_degree() - 2.0).abs() < 1e-12);
+        let plan = plan_tau(&cyc, 8, u64::MAX, &[1.0]).unwrap().unwrap();
+        assert_eq!(plan.estimated_bytes, estimate_footprint_bytes(&cyc, 1.0, 8));
     }
 
     #[test]
@@ -220,5 +293,21 @@ mod tests {
         assert!(plan_tau(&g, 8, 1000, &[]).is_err());
         assert!(plan_tau(&g, 8, 1000, &[0.0]).is_err());
         assert!(plan_tau(&g, 8, 1000, &[-2.0]).is_err());
+    }
+
+    #[test]
+    fn infinite_tau_on_edgeless_graph_does_not_panic() {
+        // τ = ∞ passes grid validation (> 0, not NaN) and an edgeless
+        // graph has mean degree 0, so the threshold is ∞ · 0 = NaN — the
+        // one reachable ill-defined corner. The planner must agree with
+        // the float estimate (nothing is low under a NaN threshold)
+        // instead of panicking on the missing cutoff.
+        let g = EdgeList::with_vertices(16, std::iter::empty()).unwrap();
+        let plan = plan_tau(&g, 8, u64::MAX, &[f64::INFINITY]).unwrap().unwrap();
+        assert_eq!(plan.estimated_bytes, estimate_footprint_bytes(&g, f64::INFINITY, 8));
+        // On a graph with edges, τ = ∞ simply classifies everything low.
+        let g = graph();
+        let plan = plan_tau(&g, 8, u64::MAX, &[f64::INFINITY]).unwrap().unwrap();
+        assert_eq!(plan.estimated_bytes, estimate_footprint_bytes(&g, f64::INFINITY, 8));
     }
 }

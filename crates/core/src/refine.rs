@@ -34,23 +34,57 @@
 //!   gain floor. Edge counts per part are unchanged, so the serial
 //!   `balanced_caps` hold **exactly**, before and after every committed
 //!   move. A move without enough filler is rolled back.
+//! * **Gain-bucket commit queue.** Proposals are ordered for commit by a
+//!   bucket queue indexed by clamped gain (`Σ` O(proposals + max gain)
+//!   construction, O(1) amortized pop) instead of a comparison sort; the
+//!   rare proposals above [`GAIN_CLAMP`] share the top bucket, which is
+//!   ordered exactly, so the commit order is *identical* to a full
+//!   `(gain desc, v, a, b)` sort. Stale entries are invalidated lazily:
+//!   every pop is re-validated against the live state (bundle still
+//!   non-empty, gain still eligible) and skipped when stale, so a commit
+//!   is amortized O(1) selection plus work proportional to the move
+//!   itself — never a rescan of the whole boundary.
+//! * **Parallel commit — part-disjoint conflict groups.** A committing
+//!   move only ever reads and writes state belonging to its two parts:
+//!   every count it consults is for part `a` or `b`, the filler pools it
+//!   scans are `a`'s and `b`'s, and the ownership tests it performs on
+//!   foreign edges (`== a`, `== b`) are stable under any concurrent move
+//!   of other parts. Moves with disjoint `{a, b}` therefore commute
+//!   *exactly*. The queue is scheduled as the dependency DAG this induces
+//!   — each move depends only on the previous move sharing either of its
+//!   parts — via per-part FIFO queues: a move is ready when it heads both
+//!   its parts' queues, ready moves are pairwise part-disjoint by
+//!   construction, and waves of them execute concurrently on
+//!   [`hep_par::Pool::par_rounds`]'s persistent workers, each against the
+//!   frozen count index plus a private overlay folded back between waves
+//!   (waves too small to amortize the handoff commit inline). Every part
+//!   observes its moves in queue order, so the result is **bit-identical
+//!   to the serial commit at any `HEP_THREADS` value** (the repo
+//!   invariant, pinned by `tests/parallel_determinism`).
 //! * **Determinism — frozen propose, ordered commit.** Each pass proposes
 //!   moves in parallel on the `hep-par` pool against a frozen snapshot of
 //!   the ownership state (fixed vertex chunks, results concatenated in
-//!   chunk order), then commits serially in a fixed order (gain descending,
-//!   then vertex / source / target id), re-validating every gain against
-//!   the live state before applying it. Proposals depend only on the
-//!   snapshot and the commit order is fixed, so the refined output is
-//!   **bit-identical at any `HEP_THREADS` value** — the same frozen-read /
-//!   ordered-commit discipline as the PR 2/3 subsystems.
+//!   chunk order), then commits in the fixed bucket-queue order as above.
+//!   Proposals depend only on the snapshot and the commit order is fixed,
+//!   so the refined output is bit-identical at any `HEP_THREADS` value —
+//!   the same frozen-read / ordered-commit discipline as the PR 2/3
+//!   subsystems.
 //!
-//! The boundary index behind all of this is a dense `k × |V|` table of
-//! per-part incident-edge counts (`cnt[p][v]` = edges of part `p` touching
-//! `v`); [`crate::planner::estimate_refine_overhead_bytes`] accounts for
-//! its memory so τ planning stays honest when refinement is on.
+//! The boundary index behind all of this is a **sparse per-vertex
+//! part-count table** ([`SparseCounts`]): for every vertex a sorted row of
+//! `(part, incident-edge count)` entries, laid out flat with a fixed
+//! per-vertex capacity of `min(in-memory degree, k)` — provably
+//! sufficient, because a part can only cover `v` through an incident
+//! in-memory edge it owns. Boundary vertices touch few parts in practice,
+//! so the index costs O(Σ_v min(d(v), k)) instead of the dense `k × |V|`
+//! matrix it replaces; [`crate::planner::estimate_refine_overhead_bytes`]
+//! accounts for it so τ planning stays honest when refinement is on.
 
 use crate::nepp_par::SubGraph;
+use hep_ds::FxHashMap;
 use hep_graph::VertexId;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// Vertices per parallel proposal chunk (fixed: the decomposition must not
 /// depend on the worker count).
@@ -62,6 +96,13 @@ const PROPOSE_CHUNK: usize = 4096;
 /// amount of work and rolls back instead of scanning a whole part.
 const FILLER_SCAN_CAP: usize = 2048;
 
+/// Gains at or above this value share the top bucket of the commit queue.
+/// The top bucket is ordered exactly (`gain` descending, then proposal
+/// order), so the clamp bounds the bucket array without ever changing the
+/// commit order — it only stops a single huge gain from allocating a huge
+/// bucket table.
+const GAIN_CLAMP: u32 = 1024;
+
 /// Result of refining a packed edge-id assignment.
 pub(crate) struct RefineOutcome {
     /// Final owner part per edge id.
@@ -72,25 +113,588 @@ pub(crate) struct RefineOutcome {
     pub cover_sums: Vec<u64>,
     /// Committed bundle moves across all passes.
     pub moves: u64,
+    /// Stale commit-queue entries whose live re-check failed mid-move and
+    /// were skipped instead of corrupting the owner table (0 in a correct
+    /// run; counted so a release build surfaces the anomaly in
+    /// [`crate::nepp::NeppStats`] rather than asserting).
+    pub stale_skips: u64,
 }
 
-/// Moves edge `id` from part `from` to part `to`, maintaining the
-/// per-part incidence counts.
-#[inline]
-fn move_edge(id: u32, from: u32, to: u32, g: &SubGraph, owner: &mut [u32], cnt: &mut [Vec<u32>]) {
-    debug_assert_eq!(owner[id as usize], from);
-    owner[id as usize] = to;
-    let e = g.edges[id as usize];
-    for w in [e.src, e.dst] {
-        cnt[from as usize][w as usize] -= 1;
-        cnt[to as usize][w as usize] += 1;
+/// The sparse boundary index: per-vertex sorted rows of `(part, count)`
+/// pairs over the in-memory edges, flat-allocated with a fixed per-vertex
+/// capacity of `min(in-memory degree, k)`.
+///
+/// The capacity is provably sufficient: `count(v, p) > 0` requires an
+/// incident in-memory edge owned by `p`, and `Σ_p count(v, p)` equals
+/// `v`'s in-memory degree, so a row can never hold more than
+/// `min(degree, k)` distinct parts. Rows therefore never reallocate, the
+/// layout is a pure function of the input, and the whole index costs
+/// `O(Σ_v min(d(v), k))` entries instead of the dense `k × |V|` matrix.
+pub(crate) struct SparseCounts {
+    /// Row capacity bounds: row `v` owns `start[v]..start[v + 1]` of the
+    /// flat entry arrays.
+    start: Vec<u64>,
+    /// Live entries per row (prefix of the row's capacity range).
+    len: Vec<u32>,
+    /// Part ids per entry, sorted ascending within each row.
+    parts: Vec<u32>,
+    /// Incident-edge count per entry (always ≥ 1: zero entries are
+    /// removed eagerly).
+    counts: Vec<u32>,
+}
+
+impl SparseCounts {
+    /// Builds the index for `owner` over `g`'s edges.
+    fn build(g: &SubGraph, k: u32, owner: &[u32]) -> SparseCounts {
+        let n = g.num_vertices() as usize;
+        let mut cap = vec![0u32; n];
+        for e in &g.edges {
+            cap[e.src as usize] += 1;
+            cap[e.dst as usize] += 1;
+        }
+        let mut start = vec![0u64; n + 1];
+        for v in 0..n {
+            start[v + 1] = start[v] + cap[v].min(k) as u64;
+        }
+        let total = start[n] as usize;
+        let mut s = SparseCounts {
+            start,
+            len: vec![0u32; n],
+            parts: vec![0u32; total],
+            counts: vec![0u32; total],
+        };
+        for (id, &p) in owner.iter().enumerate() {
+            let e = g.edges[id];
+            s.incr(e.src, p);
+            s.incr(e.dst, p);
+        }
+        s
+    }
+
+    /// Live `(entry range)` of `v`'s row.
+    #[inline]
+    fn row_bounds(&self, v: VertexId) -> (usize, usize) {
+        let a = self.start[v as usize] as usize;
+        (a, a + self.len[v as usize] as usize)
+    }
+
+    /// Parts covering `v`, ascending (entries always have count ≥ 1).
+    #[inline]
+    fn parts_of(&self, v: VertexId) -> &[u32] {
+        let (a, b) = self.row_bounds(v);
+        &self.parts[a..b]
+    }
+
+    /// Position of part `p` in `v`'s sorted row: `Ok(abs index)` when
+    /// present, `Err(abs insertion index)` when not. Binary search: hub
+    /// rows hold up to `k` entries and hubs are touched by almost every
+    /// bundle, so the log factor beats a linear scan in practice.
+    #[inline]
+    fn find(&self, v: VertexId, p: u32) -> Result<usize, usize> {
+        let (a, b) = self.row_bounds(v);
+        match self.parts[a..b].binary_search(&p) {
+            Ok(i) => Ok(a + i),
+            Err(i) => Err(a + i),
+        }
+    }
+
+    /// Incident-edge count of part `p` at vertex `v` (0 when uncovered).
+    #[inline]
+    fn get(&self, v: VertexId, p: u32) -> u32 {
+        match self.find(v, p) {
+            Ok(i) => self.counts[i],
+            Err(_) => 0,
+        }
+    }
+
+    /// Adds one incident `p`-edge at `v`, inserting the entry if new.
+    fn incr(&mut self, v: VertexId, p: u32) {
+        match self.find(v, p) {
+            Ok(i) => self.counts[i] += 1,
+            Err(i) => {
+                let (_, b) = self.row_bounds(v);
+                debug_assert!(
+                    (b as u64) < self.start[v as usize + 1],
+                    "row capacity min(degree, k) can never overflow"
+                );
+                self.parts.copy_within(i..b, i + 1);
+                self.counts.copy_within(i..b, i + 1);
+                self.parts[i] = p;
+                self.counts[i] = 1;
+                self.len[v as usize] += 1;
+            }
+        }
+    }
+
+    /// Removes one incident `p`-edge at `v`, dropping the entry at zero.
+    fn decr(&mut self, v: VertexId, p: u32) {
+        match self.find(v, p) {
+            Ok(i) => {
+                self.counts[i] -= 1;
+                if self.counts[i] == 0 {
+                    let (_, b) = self.row_bounds(v);
+                    self.parts.copy_within(i + 1..b, i);
+                    self.counts.copy_within(i + 1..b, i);
+                    self.len[v as usize] -= 1;
+                }
+            }
+            Err(_) => debug_assert!(false, "decrement of an absent (vertex, part) entry"),
+        }
+    }
+
+    /// Applies a net overlay delta to the `(v, p)` entry.
+    fn apply_delta(&mut self, v: VertexId, p: u32, delta: i64) {
+        match delta.cmp(&0) {
+            std::cmp::Ordering::Greater => {
+                for _ in 0..delta {
+                    self.incr(v, p);
+                }
+            }
+            std::cmp::Ordering::Less => {
+                for _ in 0..-delta {
+                    self.decr(v, p);
+                }
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+
+    /// `Σ_i |V(p_i)|` — the live entry count, summed chunk-parallel.
+    fn cover_sum(&self, pool: &hep_par::Pool) -> u64 {
+        let ranges = hep_par::chunk_ranges(self.len.len(), 1 << 16);
+        pool.par_map(ranges.len(), |i| {
+            let (a, b) = ranges[i];
+            self.len[a..b].iter().map(|&l| l as u64).sum::<u64>()
+        })
+        .into_iter()
+        .sum()
     }
 }
 
-/// `Σ_i |V(p_i)|` over the incidence table, computed per part on the pool.
-fn cover_sum(cnt: &[Vec<u32>]) -> u64 {
-    let pool = hep_par::Pool::current();
-    pool.par_map(cnt.len(), |p| cnt[p].iter().filter(|&&c| c > 0).count() as u64).into_iter().sum()
+/// Count access used by the commit path: the serial path mutates
+/// [`SparseCounts`] directly; the parallel path layers a private
+/// [`Overlay`] over the frozen shared index.
+trait Counts {
+    /// Incident-edge count of part `p` at `v`.
+    fn get(&self, v: VertexId, p: u32) -> u32;
+    /// Adds one incident `p`-edge at `v`.
+    fn incr(&mut self, v: VertexId, p: u32);
+    /// Removes one incident `p`-edge at `v`.
+    fn decr(&mut self, v: VertexId, p: u32);
+}
+
+impl Counts for SparseCounts {
+    #[inline]
+    fn get(&self, v: VertexId, p: u32) -> u32 {
+        SparseCounts::get(self, v, p)
+    }
+    #[inline]
+    fn incr(&mut self, v: VertexId, p: u32) {
+        SparseCounts::incr(self, v, p)
+    }
+    #[inline]
+    fn decr(&mut self, v: VertexId, p: u32) {
+        SparseCounts::decr(self, v, p)
+    }
+}
+
+/// A private count overlay for one concurrently-committing move: reads
+/// combine the frozen base with the move's own deltas. Because concurrent
+/// moves are part-disjoint, their delta key sets are disjoint and the base
+/// rows they read are never mutated underneath them — the overlay view is
+/// exactly the live state a serial commit would see.
+struct Overlay<'a> {
+    base: &'a SparseCounts,
+    delta: FxHashMap<u64, i64>,
+}
+
+impl Overlay<'_> {
+    #[inline]
+    fn key(v: VertexId, p: u32) -> u64 {
+        (v as u64) << 32 | p as u64
+    }
+}
+
+impl Counts for Overlay<'_> {
+    #[inline]
+    fn get(&self, v: VertexId, p: u32) -> u32 {
+        let base = self.base.get(v, p) as i64;
+        let d = self.delta.get(&Self::key(v, p)).copied().unwrap_or(0);
+        debug_assert!(base + d >= 0, "overlayed count went negative");
+        (base + d) as u32
+    }
+    #[inline]
+    fn incr(&mut self, v: VertexId, p: u32) {
+        *self.delta.entry(Self::key(v, p)).or_insert(0) += 1;
+    }
+    #[inline]
+    fn decr(&mut self, v: VertexId, p: u32) {
+        *self.delta.entry(Self::key(v, p)).or_insert(0) -= 1;
+    }
+}
+
+/// Moves edge `id` from part `from` to part `to` after a live ownership
+/// re-check: a stale commit-queue entry that slipped every revalidation is
+/// *skipped and counted* instead of silently corrupting the owner table
+/// (the pre-PR-5 code only `debug_assert`ed here, which release builds
+/// compile out).
+#[inline]
+fn move_edge<C: Counts>(
+    id: u32,
+    from: u32,
+    to: u32,
+    g: &SubGraph,
+    owner: &[AtomicU32],
+    cnt: &mut C,
+    stale_skips: &mut u64,
+) -> bool {
+    let slot = &owner[id as usize];
+    if slot.load(Ordering::Relaxed) != from {
+        *stale_skips += 1;
+        return false;
+    }
+    slot.store(to, Ordering::Relaxed);
+    let e = g.edges[id as usize];
+    for w in [e.src, e.dst] {
+        cnt.decr(w, from);
+        cnt.incr(w, to);
+    }
+    true
+}
+
+/// Per-move commit result.
+struct MoveResult {
+    applied: bool,
+    stale_skips: u64,
+}
+
+/// Exact cover delta of moving filler edge `id` from `b` back to `a`.
+#[inline]
+fn filler_delta<C: Counts>(id: u32, a: u32, b: u32, g: &SubGraph, cnt: &C) -> i64 {
+    let e = g.edges[id as usize];
+    let mut delta = 0i64;
+    for w in [e.src, e.dst] {
+        delta += (cnt.get(w, b) == 1) as i64; // leaves V(p_b)
+        delta -= (cnt.get(w, a) == 0) as i64; // enters V(p_a)
+    }
+    delta
+}
+
+/// Commits one queue entry — bundle re-validation, the bundle move, filler
+/// compensation, rollback — against `cnt` (live index or private overlay)
+/// and the two part pools. All reads and writes concern parts `a` and `b`
+/// only (ownership tests on foreign edges compare against `a`/`b`, which
+/// is stable under concurrent moves of other parts), which is what makes
+/// part-disjoint moves commute exactly.
+#[allow(clippy::too_many_arguments)]
+fn commit_move<C: Counts>(
+    v: VertexId,
+    a: u32,
+    b: u32,
+    g: &SubGraph,
+    owner: &[AtomicU32],
+    cnt: &mut C,
+    pool_a: &mut Vec<u32>,
+    pool_b: &mut Vec<u32>,
+) -> MoveResult {
+    let mut stale_skips = 0u64;
+    let result = |applied, stale_skips| MoveResult { applied, stale_skips };
+    let bundle: Vec<(u32, VertexId)> =
+        g.incident(v).filter(|&(id, _)| owner[id as usize].load(Ordering::Relaxed) == a).collect();
+    if bundle.is_empty() {
+        return result(false, stale_skips); // earlier commits emptied the bundle
+    }
+    let mut gain: i64 = 1 - (cnt.get(v, b) == 0) as i64;
+    for &(_, u) in &bundle {
+        if cnt.get(u, a) == 1 {
+            gain += 1;
+        }
+        if cnt.get(u, b) == 0 {
+            gain -= 1;
+        }
+    }
+    // Positive moves always qualify; zero-gain moves only when they still
+    // consolidate v into a strictly heavier part (the propose-time
+    // condition, re-checked against the live state).
+    if gain < 0 || (gain == 0 && cnt.get(v, b) as usize <= bundle.len()) {
+        return result(false, stale_skips);
+    }
+    let mut moved: Vec<u32> = Vec::with_capacity(bundle.len());
+    for &(id, _) in &bundle {
+        if move_edge(id, a, b, g, owner, cnt, &mut stale_skips) {
+            moved.push(id);
+        }
+    }
+    if moved.len() < bundle.len() {
+        // A bundle edge failed the live ownership re-check (impossible
+        // unless a stale entry slipped revalidation): the gain above is
+        // void, so roll back rather than commit a half-move.
+        for &id in &moved {
+            move_edge(id, b, a, g, owner, cnt, &mut stale_skips);
+        }
+        return result(false, stale_skips);
+    }
+    // Filler b -> a with exact cover-delta accounting: a filler whose
+    // endpoints are all still covered by a and whose removal uncovers
+    // vertices in b has delta >= 0 (free or better); one that drags a
+    // fresh vertex into a's cover has delta < 0 and is only taken while
+    // the move's total stays strictly above the zero-gain floor. The
+    // scans are deterministic and greedy-safe: first b-edges adjacent to
+    // the bundle's own endpoints (the boundary-internal neighborhood,
+    // O(degree) and where almost every filler lives), then a bounded
+    // sweep of b's pool — non-negative fillers before paying ones.
+    let need = bundle.len();
+    let mut total: i64 = gain;
+    let mut filler: Vec<u32> = Vec::with_capacity(need);
+    'local: for &(_, u) in &bundle {
+        for (id, w) in g.incident(u) {
+            if filler.len() == need {
+                break 'local;
+            }
+            // Skip edges back into the just-moved bundle (w == v) and
+            // anything no longer owned by b.
+            if w == v || owner[id as usize].load(Ordering::Relaxed) != b {
+                continue;
+            }
+            let delta = filler_delta(id, a, b, g, cnt);
+            if delta < 0 {
+                continue;
+            }
+            if move_edge(id, b, a, g, owner, cnt, &mut stale_skips) {
+                filler.push(id);
+                total += delta;
+            }
+        }
+    }
+    for pay_phase in [false, true] {
+        if filler.len() == need {
+            break;
+        }
+        // Stale entries (edges that left b, including fillers chosen a
+        // moment ago) are swap-removed as encountered, so each is dropped
+        // exactly once per pass — without the compaction, every move
+        // targeting b would re-walk the growing stale prefix and the
+        // documented per-move work bound would not hold. swap_remove
+        // reorders the pool, but only as a function of the
+        // (deterministic) commit history.
+        let mut examined = 0usize;
+        let mut i = 0usize;
+        while i < pool_b.len() {
+            if filler.len() == need || examined == FILLER_SCAN_CAP {
+                break;
+            }
+            let id = pool_b[i];
+            if owner[id as usize].load(Ordering::Relaxed) != b {
+                pool_b.swap_remove(i);
+                continue; // re-examine the swapped-in entry at i
+            }
+            examined += 1;
+            let e = g.edges[id as usize];
+            if e.src == v || e.dst == v {
+                i += 1;
+                continue; // never pull the moved vertex back into a
+            }
+            let delta = filler_delta(id, a, b, g, cnt);
+            if (!pay_phase && delta < 0) || (pay_phase && total + delta < gain.min(1)) {
+                i += 1;
+                continue;
+            }
+            if move_edge(id, b, a, g, owner, cnt, &mut stale_skips) {
+                filler.push(id);
+                total += delta;
+            }
+            pool_b.swap_remove(i);
+        }
+    }
+    if filler.len() < need {
+        for &id in &filler {
+            move_edge(id, a, b, g, owner, cnt, &mut stale_skips);
+        }
+        for &id in &moved {
+            move_edge(id, b, a, g, owner, cnt, &mut stale_skips);
+        }
+        // Rolled-back fillers are owned by b again but were swap-removed
+        // from its pool above: put them back so later moves can still see
+        // them this pass.
+        pool_b.extend(filler.iter().copied());
+        return result(false, stale_skips);
+    }
+    pool_b.extend(moved.iter().copied());
+    pool_a.extend(filler.iter().copied());
+    result(true, stale_skips)
+}
+
+/// Orders proposals for commit with a gain-bucket queue: entries land in
+/// the bucket of their clamped gain and buckets drain top-down. Within a
+/// bucket the (chunk-concatenated) proposal order is already ascending in
+/// `(v, a)` — and `(v, a)` is unique per proposal — so the queue order is
+/// *identical* to sorting by `(gain desc, v, a, b)`; the top bucket, which
+/// may mix clamped gains, is the only one that needs an explicit sort.
+fn commit_queue(proposals: Vec<(u32, u32, u32, u32)>) -> Vec<(u32, u32, u32)> {
+    let Some(top) = proposals.iter().map(|&(g, ..)| g.min(GAIN_CLAMP)).max() else {
+        return Vec::new();
+    };
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); top as usize + 1];
+    for (i, &(gain, ..)) in proposals.iter().enumerate() {
+        buckets[gain.min(GAIN_CLAMP) as usize].push(i);
+    }
+    if top == GAIN_CLAMP {
+        // Stable sort: clamped entries order by true gain, ties keep the
+        // (v, a)-ascending proposal order — the exact global order.
+        buckets[top as usize].sort_by_key(|&i| std::cmp::Reverse(proposals[i].0));
+    }
+    let mut queue = Vec::with_capacity(proposals.len());
+    for bucket in buckets.iter().rev() {
+        for &i in bucket {
+            let (_, v, a, b) = proposals[i];
+            queue.push((v, a, b));
+        }
+    }
+    queue
+}
+
+/// Serial commit: drains the queue in order against the live index.
+fn commit_serial(
+    queue: &[(u32, u32, u32)],
+    g: &SubGraph,
+    owner: &[AtomicU32],
+    cnt: &mut SparseCounts,
+    pools: &mut [Vec<u32>],
+) -> (u64, u64) {
+    let (mut applied, mut stale) = (0u64, 0u64);
+    for &(v, a, b) in queue {
+        // Split the two pool borrows (a != b by construction).
+        let (pool_a, pool_b) = if a < b {
+            let (lo, hi) = pools.split_at_mut(b as usize);
+            (&mut lo[a as usize], &mut hi[0])
+        } else {
+            let (lo, hi) = pools.split_at_mut(a as usize);
+            (&mut hi[0], &mut lo[b as usize])
+        };
+        let r = commit_move(v, a, b, g, owner, cnt, pool_a, pool_b);
+        applied += r.applied as u64;
+        stale += r.stale_skips;
+    }
+    (applied, stale)
+}
+
+/// Applies one concurrently-executed move's overlay back into the live
+/// index. Key sets are disjoint across a wave's moves and each key holds
+/// the move's net delta, so the per-key outcome is order-independent — but
+/// *within* a move, all decrements must land before the increments: a
+/// vertex's row is sized for `min(degree, k)` live parts, which
+/// `Σ_p count(v, p) = degree` guarantees only while the counts stay
+/// balanced. Applying an increment before its matching decrement would
+/// transiently overflow the row and corrupt its neighbor.
+fn apply_overlay(cnt: &mut SparseCounts, delta: FxHashMap<u64, i64>) {
+    let items: Vec<(u64, i64)> = delta.into_iter().collect();
+    for &(key, d) in items.iter().filter(|&&(_, d)| d < 0) {
+        cnt.apply_delta((key >> 32) as u32, key as u32, d);
+    }
+    for &(key, d) in items.iter().filter(|&&(_, d)| d > 0) {
+        cnt.apply_delta((key >> 32) as u32, key as u32, d);
+    }
+}
+
+/// Parallel commit: schedules the queue as a dependency DAG — each move
+/// depends only on the *previous* move sharing either of its parts — via
+/// per-part FIFO queues: a move is ready exactly when it heads both its
+/// parts' queues. Ready moves are pairwise part-disjoint by construction
+/// (two moves sharing a part cannot both head it), so they commute exactly
+/// (see [`commit_move`]) and a wave of them can execute concurrently, each
+/// against the frozen index plus a private overlay, folded back in wave
+/// order on [`hep_par::Pool::par_rounds`]'s persistent workers. Waves too
+/// small to amortize the round handoff commit inline on the planning
+/// thread instead — either way every part observes its moves in queue
+/// order, so the result is **bit-identical to [`commit_serial`]** at any
+/// worker count.
+fn commit_parallel(
+    queue: Vec<(u32, u32, u32)>,
+    k: u32,
+    g: &SubGraph,
+    owner: &[AtomicU32],
+    cnt: &mut SparseCounts,
+    pools: &[Mutex<Vec<u32>>],
+    pool: &hep_par::Pool,
+) -> (u64, u64) {
+    use std::collections::VecDeque;
+    let (mut applied, mut stale) = (0u64, 0u64);
+    // Per-part pending queues over move indices, in queue (commit) order.
+    let mut part_q: Vec<VecDeque<u32>> = vec![VecDeque::new(); k as usize];
+    for (i, &(_, a, b)) in queue.iter().enumerate() {
+        part_q[a as usize].push_back(i as u32);
+        part_q[b as usize].push_back(i as u32);
+    }
+    let is_ready = |part_q: &[VecDeque<u32>], i: u32| {
+        let (_, a, b) = queue[i as usize];
+        part_q[a as usize].front() == Some(&i) && part_q[b as usize].front() == Some(&i)
+    };
+    let mut ready: Vec<u32> = (0..queue.len() as u32).filter(|&i| is_ready(&part_q, i)).collect();
+    // Pops a finished move and promotes newly-ready successors.
+    let retire = |part_q: &mut Vec<VecDeque<u32>>, ready: &mut Vec<u32>, i: u32| {
+        let (_, a, b) = queue[i as usize];
+        for p in [a, b] {
+            let head = part_q[p as usize].pop_front();
+            debug_assert_eq!(head, Some(i));
+            if let Some(&j) = part_q[p as usize].front() {
+                if is_ready(part_q, j) {
+                    ready.push(j);
+                }
+            }
+        }
+    };
+    // Below this, a wave commits inline on the planning thread: the round
+    // handoff (two barrier cycles) costs more than it buys. The threshold
+    // only regroups waves — the output is invariant either way.
+    let wave_min = (2 * pool.threads()).max(4);
+    let mut in_flight: Vec<u32> = Vec::new();
+    pool.par_rounds(
+        cnt,
+        |cnt, results: Vec<(FxHashMap<u64, i64>, MoveResult)>| {
+            for (delta, r) in results {
+                apply_overlay(cnt, delta);
+                applied += r.applied as u64;
+                stale += r.stale_skips;
+            }
+            for i in std::mem::take(&mut in_flight) {
+                retire(&mut part_q, &mut ready, i);
+            }
+            loop {
+                if ready.is_empty() {
+                    return None;
+                }
+                if ready.len() >= wave_min {
+                    ready.sort_unstable();
+                    in_flight = std::mem::take(&mut ready);
+                    let tasks: Vec<(u32, u32, u32)> =
+                        in_flight.iter().map(|&i| queue[i as usize]).collect();
+                    return Some(tasks);
+                }
+                // Inline path: commit one ready move directly against the
+                // live index (no overlay), retire it, and re-check — small
+                // waves cascade through here without a worker handoff.
+                let i = ready.pop().expect("non-empty");
+                let (v, a, b) = queue[i as usize];
+                let mut pool_a = pools[a as usize].lock().expect("pool lock");
+                let mut pool_b = pools[b as usize].lock().expect("pool lock");
+                let r = commit_move(v, a, b, g, owner, cnt, &mut pool_a, &mut pool_b);
+                drop((pool_a, pool_b));
+                applied += r.applied as u64;
+                stale += r.stale_skips;
+                retire(&mut part_q, &mut ready, i);
+            }
+        },
+        |cnt, &(v, a, b)| {
+            let mut overlay = Overlay { base: cnt, delta: FxHashMap::default() };
+            // Uncontended by construction: parts are exclusive to one
+            // move per wave.
+            let mut pool_a = pools[a as usize].lock().expect("pool lock");
+            let mut pool_b = pools[b as usize].lock().expect("pool lock");
+            let r = commit_move(v, a, b, g, owner, &mut overlay, &mut pool_a, &mut pool_b);
+            (overlay.delta, r)
+        },
+    );
+    (applied, stale)
 }
 
 /// Runs `passes` boundary-aware FM passes over a packed edge-id
@@ -102,7 +706,7 @@ pub(crate) fn refine_packed_parts(
     k: u32,
     caps: &[u64],
     sizes: &[u64],
-    mut owner: Vec<u32>,
+    owner: Vec<u32>,
     passes: u32,
 ) -> RefineOutcome {
     let n = g.num_vertices() as usize;
@@ -110,19 +714,15 @@ pub(crate) fn refine_packed_parts(
     debug_assert_eq!(owner.len(), m);
     debug_assert!(sizes.iter().zip(caps).all(|(s, c)| s <= c));
     let pool = hep_par::Pool::current();
-    // The boundary index: per-part incident-edge counts.
-    let mut cnt: Vec<Vec<u32>> = vec![vec![0u32; n]; k as usize];
-    for (id, &p) in owner.iter().enumerate() {
-        let e = g.edges[id];
-        cnt[p as usize][e.src as usize] += 1;
-        cnt[p as usize][e.dst as usize] += 1;
-    }
+    let mut cnt = SparseCounts::build(g, k, &owner);
+    let owner: Vec<AtomicU32> = owner.into_iter().map(AtomicU32::new).collect();
     // Filler candidate pools per part, in edge-id order; rebuilt at every
     // pass so stale entries (edges that moved) do not accumulate. Within
     // a pass the owner check at scan time skips them.
-    let mut part_pool: Vec<Vec<u32>> = vec![Vec::new(); k as usize];
-    let mut cover_sums = vec![cover_sum(&cnt)];
+    let mut pools: Vec<Mutex<Vec<u32>>> = (0..k).map(|_| Mutex::new(Vec::new())).collect();
+    let mut cover_sums = vec![cnt.cover_sum(&pool)];
     let mut moves = 0u64;
+    let mut stale_skips = 0u64;
     for _ in 0..passes {
         // ---- Propose (parallel, frozen snapshot) ----
         let ranges = hep_par::chunk_ranges(n, PROPOSE_CHUNK);
@@ -133,11 +733,14 @@ pub(crate) fn refine_packed_parts(
             let mut incident: Vec<(u32, VertexId, u32)> = Vec::new();
             let mut parts_of_v: Vec<u32> = Vec::new();
             let mut candidates: Vec<u32> = Vec::new();
+            // Per-candidate covered-endpoint tally, reset via `candidates`
+            // after every (v, a) pair (k slots, O(1) lookups).
+            let mut hits: Vec<u32> = vec![0u32; k as usize];
             for v in lo as u32..hi as u32 {
                 incident.clear();
                 parts_of_v.clear();
                 for (id, u) in g.incident(v) {
-                    let p = owner_ref[id as usize];
+                    let p = owner_ref[id as usize].load(Ordering::Relaxed);
                     incident.push((id, u, p));
                     if !parts_of_v.contains(&p) {
                         parts_of_v.push(p);
@@ -151,49 +754,65 @@ pub(crate) fn refine_packed_parts(
                 // endpoint of one of v's edges — a bundle move to a part
                 // that does not hold v yet can still win when enough of
                 // its endpoints already live there (v's own replica then
-                // migrates instead of shrinking).
+                // migrates instead of shrinking). The sparse rows yield
+                // them directly, instead of probing all k parts per
+                // endpoint as the dense index had to.
                 candidates.clear();
                 candidates.extend_from_slice(&parts_of_v);
                 for &(_, u, _) in incident.iter() {
-                    for b in 0..k {
-                        if cnt_ref[b as usize][u as usize] > 0 && !candidates.contains(&b) {
+                    for &b in cnt_ref.parts_of(u) {
+                        if !candidates.contains(&b) {
                             candidates.push(b);
                         }
                     }
                 }
                 candidates.sort_unstable();
                 for &a in &parts_of_v {
-                    // Vertices leaving V(p_a): v itself, plus endpoints
-                    // whose only a-edge is in the bundle.
-                    let leaves: i64 = 1 + incident
-                        .iter()
-                        .filter(|&&(_, u, p)| p == a && cnt_ref[a as usize][u as usize] == 1)
-                        .count() as i64;
+                    // One sweep over the bundle computes, simultaneously:
+                    // its length, the vertices leaving V(p_a) (v itself,
+                    // plus endpoints whose only a-edge is in the bundle),
+                    // and — via the endpoints' sparse rows — how many
+                    // bundle endpoints each candidate part already covers
+                    // (`hits`). That turns the per-candidate gain from a
+                    // rescan of the bundle into an O(1) lookup:
+                    // `enters(b) = (v not in b) + bundle_len - hits[b]`.
+                    let mut bundle_len = 0u32;
+                    let mut leaves: i64 = 1;
+                    for &(_, u, p) in incident.iter() {
+                        if p != a {
+                            continue;
+                        }
+                        bundle_len += 1;
+                        if cnt_ref.get(u, a) == 1 {
+                            leaves += 1;
+                        }
+                        for &q in cnt_ref.parts_of(u) {
+                            hits[q as usize] += 1;
+                        }
+                    }
                     let mut best: Option<(i64, u32)> = None;
                     for &b in &candidates {
                         if b == a {
                             continue;
                         }
-                        let enters: i64 = (cnt_ref[b as usize][v as usize] == 0) as i64
-                            + incident
-                                .iter()
-                                .filter(|&&(_, u, p)| {
-                                    p == a && cnt_ref[b as usize][u as usize] == 0
-                                })
-                                .count() as i64;
+                        let cvb = cnt_ref.get(v, b);
+                        let enters: i64 =
+                            (cvb == 0) as i64 + bundle_len as i64 - hits[b as usize] as i64;
                         let gain = leaves - enters;
                         // Zero-gain moves are kept only when they
                         // consolidate v into a strictly heavier part:
                         // directional, so they cannot ping-pong, and they
                         // pull plateaued boundaries apart for the next
                         // pass's positive moves (FM hill-climbing).
-                        let bundle_len =
-                            incident.iter().filter(|&&(_, _, p)| p == a).count() as u32;
-                        let ok =
-                            gain > 0 || (gain == 0 && cnt_ref[b as usize][v as usize] > bundle_len);
-                        if ok && best.map_or(true, |(bg, _)| gain > bg) {
+                        let ok = gain > 0 || (gain == 0 && cvb > bundle_len);
+                        if ok && best.is_none_or(|(bg, _)| gain > bg) {
                             best = Some((gain, b));
                         }
+                    }
+                    // The rows swept above only touch candidate parts, so
+                    // resetting over `candidates` clears every hit.
+                    for &b in &candidates {
+                        hits[b as usize] = 0;
                     }
                     if let Some((gain, b)) = best {
                         proposals.push((gain as u32, v, a, b));
@@ -202,146 +821,37 @@ pub(crate) fn refine_packed_parts(
             }
             proposals
         });
-        let mut proposals: Vec<(u32, u32, u32, u32)> = chunks.into_iter().flatten().collect();
-        proposals.sort_unstable_by_key(|&(gain, v, a, b)| (std::cmp::Reverse(gain), v, a, b));
-        // ---- Commit (serial, fixed order, live re-validation) ----
-        for pool_of in &mut part_pool {
-            pool_of.clear();
+        let proposals: Vec<(u32, u32, u32, u32)> = chunks.into_iter().flatten().collect();
+        // ---- Commit (gain-bucket order, live re-validation) ----
+        let queue = commit_queue(proposals);
+        for pool_of in pools.iter_mut() {
+            pool_of.get_mut().expect("pool lock").clear();
         }
-        for (id, &p) in owner.iter().enumerate() {
-            part_pool[p as usize].push(id as u32);
+        for (id, slot) in owner.iter().enumerate() {
+            pools[slot.load(Ordering::Relaxed) as usize]
+                .get_mut()
+                .expect("pool lock")
+                .push(id as u32);
         }
-        let mut applied = 0u64;
-        let mut bundle: Vec<(u32, VertexId)> = Vec::new();
-        for &(_, v, a, b) in &proposals {
-            bundle.clear();
-            bundle.extend(g.incident(v).filter(|&(id, _)| owner[id as usize] == a));
-            if bundle.is_empty() {
-                continue; // earlier commits emptied the bundle
+        let (applied, stale) = if pool.threads() <= 1 {
+            let mut plain: Vec<Vec<u32>> =
+                pools.iter_mut().map(|p| std::mem::take(p.get_mut().expect("pool lock"))).collect();
+            let r = commit_serial(&queue, g, &owner, &mut cnt, &mut plain);
+            for (slot, vec) in pools.iter_mut().zip(plain) {
+                *slot.get_mut().expect("pool lock") = vec;
             }
-            let mut gain: i64 = 1 - (cnt[b as usize][v as usize] == 0) as i64;
-            for &(_, u) in &bundle {
-                if cnt[a as usize][u as usize] == 1 {
-                    gain += 1;
-                }
-                if cnt[b as usize][u as usize] == 0 {
-                    gain -= 1;
-                }
-            }
-            // Positive moves always qualify; zero-gain moves only when
-            // they still consolidate v into a strictly heavier part (the
-            // propose-time condition, re-checked against the live state).
-            if gain < 0 || (gain == 0 && cnt[b as usize][v as usize] as usize <= bundle.len()) {
-                continue;
-            }
-            for &(id, _) in &bundle {
-                move_edge(id, a, b, g, &mut owner, &mut cnt);
-            }
-            // Filler b -> a with exact cover-delta accounting: a filler
-            // whose endpoints are all still covered by a and whose removal
-            // uncovers vertices in b has delta >= 0 (free or better); one
-            // that drags a fresh vertex into a's cover has delta < 0 and
-            // is only taken while the move's total stays strictly above
-            // the zero-gain floor. The scans are deterministic and
-            // greedy-safe: first b-edges adjacent to the bundle's own
-            // endpoints (the boundary-internal neighborhood, O(degree)
-            // and where almost every filler lives), then a bounded sweep
-            // of b's pool — non-negative fillers before paying ones.
-            let need = bundle.len();
-            let mut total: i64 = gain;
-            let mut filler: Vec<u32> = Vec::with_capacity(need);
-            let filler_delta = |id: u32, cnt: &[Vec<u32>]| -> i64 {
-                let e = g.edges[id as usize];
-                let mut delta = 0i64;
-                for w in [e.src, e.dst] {
-                    delta += (cnt[b as usize][w as usize] == 1) as i64; // leaves V(p_b)
-                    delta -= (cnt[a as usize][w as usize] == 0) as i64; // enters V(p_a)
-                }
-                delta
-            };
-            'local: for bi in 0..bundle.len() {
-                let u = bundle[bi].1;
-                for (id, w) in g.incident(u) {
-                    if filler.len() == need {
-                        break 'local;
-                    }
-                    // Skip edges back into the just-moved bundle (w == v)
-                    // and anything no longer owned by b.
-                    if w == v || owner[id as usize] != b {
-                        continue;
-                    }
-                    let delta = filler_delta(id, &cnt);
-                    if delta < 0 {
-                        continue;
-                    }
-                    move_edge(id, b, a, g, &mut owner, &mut cnt);
-                    filler.push(id);
-                    total += delta;
-                }
-            }
-            for pay_phase in [false, true] {
-                if filler.len() == need {
-                    break;
-                }
-                // Stale entries (edges that left b, including fillers
-                // chosen a moment ago) are swap-removed as encountered,
-                // so each is dropped exactly once per pass — without the
-                // compaction, every move targeting b would re-walk the
-                // growing stale prefix and the documented per-move work
-                // bound would not hold. swap_remove reorders the pool,
-                // but only as a function of the (deterministic) commit
-                // history.
-                let mut examined = 0usize;
-                let mut i = 0usize;
-                while i < part_pool[b as usize].len() {
-                    if filler.len() == need || examined == FILLER_SCAN_CAP {
-                        break;
-                    }
-                    let id = part_pool[b as usize][i];
-                    if owner[id as usize] != b {
-                        part_pool[b as usize].swap_remove(i);
-                        continue; // re-examine the swapped-in entry at i
-                    }
-                    examined += 1;
-                    let e = g.edges[id as usize];
-                    if e.src == v || e.dst == v {
-                        i += 1;
-                        continue; // never pull the moved vertex back into a
-                    }
-                    let delta = filler_delta(id, &cnt);
-                    if (!pay_phase && delta < 0) || (pay_phase && total + delta < gain.min(1)) {
-                        i += 1;
-                        continue;
-                    }
-                    move_edge(id, b, a, g, &mut owner, &mut cnt);
-                    filler.push(id);
-                    total += delta;
-                    part_pool[b as usize].swap_remove(i);
-                }
-            }
-            if filler.len() < need {
-                for &id in &filler {
-                    move_edge(id, a, b, g, &mut owner, &mut cnt);
-                }
-                for &(id, _) in &bundle {
-                    move_edge(id, b, a, g, &mut owner, &mut cnt);
-                }
-                // Rolled-back fillers are owned by b again but were
-                // swap-removed from its pool above: put them back so
-                // later moves can still see them this pass.
-                part_pool[b as usize].extend(filler.iter().copied());
-                continue;
-            }
-            part_pool[b as usize].extend(bundle.iter().map(|&(id, _)| id));
-            part_pool[a as usize].extend(filler.iter().copied());
-            applied += 1;
-        }
+            r
+        } else {
+            commit_parallel(queue, k, g, &owner, &mut cnt, &pools, &pool)
+        };
+        stale_skips += stale;
         if applied == 0 {
             break;
         }
         moves += applied;
-        cover_sums.push(cover_sum(&cnt));
+        cover_sums.push(cnt.cover_sum(&pool));
     }
+    let owner: Vec<u32> = owner.into_iter().map(AtomicU32::into_inner).collect();
     #[cfg(debug_assertions)]
     {
         let mut check = vec![0u64; k as usize];
@@ -350,5 +860,93 @@ pub(crate) fn refine_packed_parts(
         }
         debug_assert_eq!(&check, sizes, "refinement must preserve part loads edge-for-edge");
     }
-    RefineOutcome { owner, cover_sums, moves }
+    RefineOutcome { owner, cover_sums, moves, stale_skips }
+}
+
+/// A prepared refinement input over a synthetic striped round-robin
+/// assignment of a graph's in-memory edges: the memory-accounting probe
+/// behind the alloc-tracked property test (`tests/refine_memory.rs`) and
+/// the pure-refine kernel rows of `micro_scaling`. The synthetic
+/// assignment interleaves parts edge-by-edge, which maximizes boundary
+/// structure — the conservative direction for a peak-memory bound — while
+/// filling every part to its serial balanced cap exactly, like the real
+/// pack output does.
+pub struct RefineProbe {
+    g: SubGraph,
+    k: u32,
+    caps: Vec<u64>,
+    owner: Vec<u32>,
+}
+
+impl RefineProbe {
+    /// Builds the probe input: pruned CSR, edge-id view, and the striped
+    /// round-robin assignment (`split` stripes, each cycling through the
+    /// parts from a staggered start).
+    pub fn build(graph: &hep_graph::EdgeList, tau: f64, k: u32, split: u32) -> RefineProbe {
+        let csr = hep_graph::PrunedCsr::build(graph, tau);
+        let g = SubGraph::build(&csr);
+        let m = g.edges.len();
+        let caps = crate::nepp::balanced_caps(m as u64, k);
+        let mut remaining = caps.clone();
+        let mut owner = vec![0u32; m];
+        let split = split.max(1) as usize;
+        for (t, range) in hep_par::chunk_ranges(m, m.div_ceil(split).max(1)).into_iter().enumerate()
+        {
+            let mut next = (t * k as usize) / split;
+            for slot in owner[range.0..range.1].iter_mut() {
+                while remaining[next % k as usize] == 0 {
+                    next += 1;
+                }
+                *slot = (next % k as usize) as u32;
+                remaining[next % k as usize] -= 1;
+                next += 1;
+            }
+        }
+        debug_assert!(remaining.iter().all(|&r| r == 0));
+        RefineProbe { g, k, caps, owner }
+    }
+
+    /// Number of in-memory edges under refinement.
+    pub fn num_edges(&self) -> usize {
+        self.g.edges.len()
+    }
+
+    /// Runs `passes` refinement passes on a fresh copy of the assignment.
+    /// The copy is intentional: it charges the owner table to the measured
+    /// region, matching the planner's accounting.
+    pub fn run(&self, passes: u32) -> RefineProbeRun {
+        let outcome = refine_packed_parts(
+            &self.g,
+            self.k,
+            &self.caps,
+            &self.caps,
+            self.owner.clone(),
+            passes,
+        );
+        let mut hasher = hep_ds::FxHasher::default();
+        std::hash::Hash::hash_slice(&outcome.owner, &mut hasher);
+        RefineProbeRun {
+            moves: outcome.moves,
+            cover_sums: outcome.cover_sums,
+            stale_skips: outcome.stale_skips,
+            owner_hash: std::hash::Hasher::finish(&hasher),
+        }
+    }
+}
+
+/// Outcome of one [`RefineProbe::run`]: everything the determinism and
+/// memory properties compare. `owner_hash` fingerprints the full refined
+/// edge-id → part table, so equality here is (collision aside) equality of
+/// the refined assignment itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RefineProbeRun {
+    /// Committed bundle moves across all passes.
+    pub moves: u64,
+    /// `Σ_i |V(p_i)|` before refinement and after each executed pass.
+    pub cover_sums: Vec<u64>,
+    /// Stale commit-queue entries skipped by the live re-check (0 in a
+    /// correct run).
+    pub stale_skips: u64,
+    /// FxHash of the final owner table.
+    pub owner_hash: u64,
 }

@@ -58,7 +58,7 @@ impl EdgePartitioner for SimpleHybrid {
         sink: &mut dyn AssignSink,
     ) -> Result<(), GraphError> {
         check_inputs(graph, k)?;
-        if !(self.tau > 0.0) {
+        if self.tau.is_nan() || self.tau <= 0.0 {
             return Err(GraphError::InvalidConfig("tau must be positive".into()));
         }
         let (rest, h2h) = Self::split(graph, self.tau);

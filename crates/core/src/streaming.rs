@@ -10,12 +10,21 @@
 
 use hep_baselines::scoring::{capacity, ReplicaState};
 use hep_ds::DenseBitset;
-use hep_graph::{AssignSink, Edge};
+use hep_graph::{AssignSink, Edge, GraphError};
 
 /// Streams `h2h` edges into partitions, starting from the in-memory phase's
 /// state. `total_edges` is `|E|` (the balance constraint of Algorithm 4 is
 /// over the whole edge set, not just the streamed part). The edge source is
 /// an iterator so the externalized edge file never has to be materialized.
+///
+/// Edge endpoints are validated against the degree table: an h2h edge
+/// referencing a vertex id ≥ `degrees.len()` — a corrupt or truncated
+/// external edge file, or a caller-assembled stream that disagrees with
+/// its own degree pass — returns the same typed
+/// [`GraphError::VertexOutOfRange`] every other ingestion layer reports,
+/// instead of panicking on a raw index (phase 2 was the last unchecked
+/// indexer in the pipeline). The partial assignment already emitted to
+/// `sink` before the bad edge is the caller's to discard.
 #[allow(clippy::too_many_arguments)]
 pub fn stream_h2h<S: AssignSink + ?Sized>(
     h2h: impl IntoIterator<Item = Edge>,
@@ -26,10 +35,15 @@ pub fn stream_h2h<S: AssignSink + ?Sized>(
     lambda: f64,
     alpha: f64,
     sink: &mut S,
-) -> ReplicaState {
+) -> Result<ReplicaState, GraphError> {
     let mut state = ReplicaState::from_parts(s_sets, ne_sizes);
     let cap = capacity(total_edges, state.k(), alpha);
+    let n = degrees.len() as u32;
     for e in h2h {
+        let max = e.src.max(e.dst);
+        if max >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: max, num_vertices: n });
+        }
         let p = state.best_partition(
             e.src,
             e.dst,
@@ -42,7 +56,7 @@ pub fn stream_h2h<S: AssignSink + ?Sized>(
         state.assign(e.src, e.dst, p);
         sink.assign(e.src, e.dst, p);
     }
-    state
+    Ok(state)
 }
 
 #[cfg(test)]
@@ -60,9 +74,10 @@ mod tests {
         // NE++ replicated vertex 3 on partition 2.
         s_sets[2].set(3);
         let degrees = vec![5u32; 10];
-        let h2h = vec![Edge::new(3, 7)];
+        let h2h = [Edge::new(3, 7)];
         let mut sink = CollectedAssignment::default();
-        stream_h2h(h2h.iter().copied(), &degrees, s_sets, sizes, 100, 1.1, 1.05, &mut sink);
+        stream_h2h(h2h.iter().copied(), &degrees, s_sets, sizes, 100, 1.1, 1.05, &mut sink)
+            .unwrap();
         assert_eq!(sink.assignments, vec![(Edge::new(3, 7), 2)]);
     }
 
@@ -71,9 +86,10 @@ mod tests {
         let (s_sets, mut sizes) = empty_state(2, 10);
         sizes[0] = 50; // partition 0 already heavy from NE++
         let degrees = vec![2u32; 10];
-        let h2h = vec![Edge::new(1, 2)];
+        let h2h = [Edge::new(1, 2)];
         let mut sink = CollectedAssignment::default();
-        stream_h2h(h2h.iter().copied(), &degrees, s_sets, sizes, 100, 1.1, 1.05, &mut sink);
+        stream_h2h(h2h.iter().copied(), &degrees, s_sets, sizes, 100, 1.1, 1.05, &mut sink)
+            .unwrap();
         assert_eq!(sink.assignments[0].1, 1);
     }
 
@@ -83,9 +99,9 @@ mod tests {
         // Partition 0 at the cap for |E|=4, k=2, alpha=1.0 -> cap 2.
         sizes[0] = 2;
         let degrees = vec![3u32; 4];
-        let h2h = vec![Edge::new(0, 1), Edge::new(2, 3)];
+        let h2h = [Edge::new(0, 1), Edge::new(2, 3)];
         let mut sink = CollectedAssignment::default();
-        stream_h2h(h2h.iter().copied(), &degrees, s_sets, sizes, 4, 1.1, 1.0, &mut sink);
+        stream_h2h(h2h.iter().copied(), &degrees, s_sets, sizes, 4, 1.1, 1.0, &mut sink).unwrap();
         assert!(sink.assignments.iter().all(|&(_, p)| p == 1));
     }
 
@@ -93,12 +109,50 @@ mod tests {
     fn returns_final_state() {
         let (s_sets, sizes) = empty_state(2, 4);
         let degrees = vec![1u32; 4];
-        let h2h = vec![Edge::new(0, 1)];
+        let h2h = [Edge::new(0, 1)];
         let mut sink = CollectedAssignment::default();
         let state =
-            stream_h2h(h2h.iter().copied(), &degrees, s_sets, sizes, 10, 1.1, 1.05, &mut sink);
+            stream_h2h(h2h.iter().copied(), &degrees, s_sets, sizes, 10, 1.1, 1.05, &mut sink)
+                .unwrap();
         let p = sink.assignments[0].1;
         assert!(state.is_replicated(0, p) && state.is_replicated(1, p));
         assert_eq!(state.load(p), 1);
+    }
+
+    #[test]
+    fn out_of_range_h2h_edge_is_a_typed_error_not_a_panic() {
+        // Regression: phase 2 used to index `degrees[e.src]` unchecked, so
+        // an h2h edge with an endpoint >= |V| — e.g. streamed out of a
+        // corrupt HEPB file — panicked with a raw index-out-of-bounds
+        // instead of the typed error every other ingestion layer reports.
+        // The stream here really comes from a forged binfile: the header
+        // claims 4 vertices, the payload holds edge (2, 9).
+        use hep_graph::BinaryEdgeFile;
+        let mut path = std::env::temp_dir();
+        path.push(format!("hep_stream_forged_{}.hepb", std::process::id()));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&hep_graph::binfile::MAGIC);
+        bytes.extend_from_slice(&hep_graph::binfile::VERSION.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // |V| = 4
+        bytes.extend_from_slice(&2u64.to_le_bytes()); // 2 edges
+        for (s, d) in [(0u32, 1u32), (2, 9)] {
+            bytes.extend_from_slice(&s.to_le_bytes());
+            bytes.extend_from_slice(&d.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let file = BinaryEdgeFile::open(&path).unwrap();
+        let h2h: Vec<Edge> = file.pass().unwrap().collect::<Result<_, _>>().unwrap();
+        std::fs::remove_file(&path).ok();
+        let (s_sets, sizes) = empty_state(2, 4);
+        let degrees = vec![3u32; 4];
+        let mut sink = CollectedAssignment::default();
+        let err = stream_h2h(h2h, &degrees, s_sets, sizes, 10, 1.1, 1.05, &mut sink).unwrap_err();
+        assert!(
+            matches!(err, hep_graph::GraphError::VertexOutOfRange { vertex: 9, num_vertices: 4 }),
+            "got {err}"
+        );
+        // The valid prefix was emitted before the bad edge surfaced; the
+        // caller decides whether to keep or discard it.
+        assert_eq!(sink.assignments.len(), 1);
     }
 }

@@ -306,9 +306,9 @@ mod tests {
             for op in ops {
                 match op {
                     Op::Insert(id, k) => {
-                        if !model.contains_key(&id) {
+                        if let std::collections::btree_map::Entry::Vacant(slot) = model.entry(id) {
                             h.insert(id, k);
-                            model.insert(id, k);
+                            slot.insert(k);
                         }
                     }
                     Op::Update(id, k) => {

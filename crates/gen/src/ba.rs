@@ -61,7 +61,7 @@ impl CopyModel<'_> {
     /// Vertex occupying slot `p` of the global endpoint array.
     fn resolve_slot(&self, p: usize) -> u32 {
         let e = p / 2;
-        if p % 2 == 0 {
+        if p.is_multiple_of(2) {
             self.source(e)
         } else if e < self.clique.len() {
             self.clique[e].1

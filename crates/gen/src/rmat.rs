@@ -36,7 +36,7 @@ impl RmatParams {
 /// Candidates are drawn in parallel from independently seeded chunks, so
 /// the output is identical at any `HEP_THREADS` setting.
 pub fn rmat(scale: u32, m: u64, params: RmatParams, seed: u64) -> EdgeList {
-    assert!(scale >= 1 && scale < 31, "scale out of range");
+    assert!((1..31).contains(&scale), "scale out of range");
     let sum = params.a + params.b + params.c + params.d;
     assert!((sum - 1.0).abs() < 1e-9, "parameters must sum to 1, got {sum}");
     let n = 1u32 << scale;

@@ -39,15 +39,16 @@ impl HybridHyper {
         if h.hyperedges.is_empty() {
             return Err(GraphError::EmptyGraph);
         }
-        if !(self.tau > 0.0) {
+        if self.tau.is_nan() || self.tau <= 0.0 {
             return Err(GraphError::InvalidConfig("tau must be positive".into()));
         }
         let n = h.num_vertices;
         let degrees = h.degrees();
-        let threshold = self.tau * h.mean_degree();
+        let mean = h.mean_degree();
         let mut high = DenseBitset::new(n as usize);
         for (v, &d) in degrees.iter().enumerate() {
-            if d as f64 > threshold {
+            // The same shared §3.1 predicate the graph pipeline uses.
+            if !hep_graph::degrees::is_low_degree(d, self.tau, mean) {
                 high.set(v as u32);
             }
         }

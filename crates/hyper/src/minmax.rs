@@ -45,7 +45,7 @@ impl HyperReplicaState {
             }
             let overlap = pins.iter().filter(|&&v| self.replicas[p as usize].get(v)).count() as i64;
             let cand = (-overlap, self.loads[p as usize], p);
-            if best.map_or(true, |b| cand < b) {
+            if best.is_none_or(|b| cand < b) {
                 best = Some(cand);
             }
         }

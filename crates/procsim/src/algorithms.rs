@@ -74,9 +74,9 @@ pub fn pagerank(dg: &DistributedGraph, iterations: u32, cost: &ClusterCost) -> (
             |i| {
                 let (a, b) = ranges[i];
                 let mut s = 0.0f64;
-                for v in a..b {
+                for (v, &r) in (a..b).zip(rank_ref[a..b].iter()) {
                     if dg.csr.degree(v as u32) == 0 {
-                        s += rank_ref[v];
+                        s += r;
                     }
                 }
                 s

@@ -170,6 +170,27 @@ proptest! {
     }
 
     #[test]
+    fn refine_parallel_commit_is_thread_invariant(
+        seed in 0u64..1000,
+        k in prop_oneof![Just(8u32), Just(32), Just(64)],
+        passes in 1u32..4,
+    ) {
+        // The PR 5 commit engine in isolation: the gain-bucket queue's
+        // part-disjoint conflict-group waves (per-part FIFO scheduling on
+        // `par_rounds` persistent workers) must reproduce the serial
+        // queue drain bit-for-bit — moves, per-pass cover sums, and the
+        // full refined owner table (fingerprinted) — at 1 vs 8 workers.
+        // k = 64 makes the waves wide enough that the 8-worker run really
+        // dispatches them instead of inlining everything.
+        let g = hep::gen::GraphSpec::ChungLu { n: 2_000, m: 16_000, gamma: 2.2 }.generate(seed);
+        let probe = hep::core::RefineProbe::build(&g, 10.0, k, 4);
+        let (a, b) = serial_vs_parallel(|| probe.run(passes));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.stale_skips, 0, "no stale queue entry may survive revalidation");
+        prop_assert!(a.moves > 0, "probe workload must exercise the commit");
+    }
+
+    #[test]
     fn refinement_preserves_caps_and_never_increases_rf(
         seed in 0u64..1000,
         split in 2u32..5,

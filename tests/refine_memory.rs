@@ -1,0 +1,67 @@
+//! Alloc-tracked property: the FM refinement's actual peak memory stays
+//! under [`hep::core::estimate_refine_overhead_bytes`]'s accounting, and
+//! that accounting no longer scales as `k × |V|`.
+//!
+//! This binary installs the counting allocator (the reproduction's max-RSS
+//! proxy, see `hep::metrics::alloc_track`), so it must stay its own
+//! integration-test binary: the tracked regions are process-wide.
+
+use hep::core::{estimate_refine_overhead_bytes, RefineProbe};
+use hep::metrics::alloc_track::{self, CountingAlloc};
+use proptest::prelude::*;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// One measured region at a time: the peak counter is process-wide.
+static REGION: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Peak live bytes of a refinement run — sparse boundary index, owner
+    /// table, filler pools, proposal buffers, commit queue, parallel-commit
+    /// overlays — stay within the planner's estimate, across the k and
+    /// split grid the estimate must hold for. The probe's synthetic
+    /// striped round-robin assignment maximizes boundary structure, which
+    /// is the conservative direction for a peak-memory bound.
+    #[test]
+    fn refine_peak_memory_within_planner_estimate(
+        seed in 0u64..200,
+        k in prop_oneof![Just(8u32), Just(32), Just(128)],
+        split in prop_oneof![Just(2u32), Just(4)],
+    ) {
+        let tau = 10.0;
+        let g = hep::gen::GraphSpec::ChungLu { n: 3_000, m: 24_000, gamma: 2.2 }.generate(seed);
+        let estimate = estimate_refine_overhead_bytes(&g, tau, k);
+        let probe = RefineProbe::build(&g, tau, k, split);
+        prop_assert!(probe.num_edges() > 0);
+        let guard = REGION.lock().unwrap_or_else(|p| p.into_inner());
+        alloc_track::reset_peak();
+        let baseline = alloc_track::current_bytes();
+        let run = probe.run(2);
+        let peak = alloc_track::peak_bytes().saturating_sub(baseline) as u64;
+        drop(guard);
+        prop_assert!(run.moves > 0, "probe workload must exercise the commit path");
+        prop_assert_eq!(run.stale_skips, 0, "no stale queue entry may survive revalidation");
+        prop_assert!(run.cover_sums.windows(2).all(|w| w[1] <= w[0]), "{:?}", run.cover_sums);
+        prop_assert!(
+            peak <= estimate,
+            "refine peak {} bytes exceeds planner estimate {} (k={}, split={})",
+            peak, estimate, k, split
+        );
+    }
+}
+
+/// The point of the sparse index: the planner accounting saturates in k
+/// instead of growing as k × |V| — at large k it undercuts the dense
+/// matrix it replaced by an order of magnitude.
+#[test]
+fn estimate_saturates_in_k() {
+    let g = hep::gen::GraphSpec::ChungLu { n: 3_000, m: 24_000, gamma: 2.2 }.generate(1);
+    let at = |k| estimate_refine_overhead_bytes(&g, 10.0, k);
+    let dense = |k: u64| k * 3_000 * 4; // the pre-PR-5 k×|V| boundary index alone
+    assert!(at(1024) < dense(1024), "sparse accounting must beat the dense matrix at large k");
+    let grown = at(4096) - at(2048);
+    assert_eq!(grown, 0, "estimate must stop growing once k exceeds every degree");
+}
