@@ -1,0 +1,158 @@
+//! IO scaling of the out-of-core ingestion pipeline (§4.1/§4.2 applied to
+//! disk): buffered-read vs mmap'd zero-copy passes over the HEPB v2 edge
+//! file — raw pass throughput and the full file-driven HEP pipeline — plus
+//! the budget-vs-τ trade-off table of the ingestion planner.
+//!
+//! Besides the human-readable tables, emits `BENCH_io.json` in the working
+//! directory: a machine-readable record of the measured seconds and the
+//! planner decisions, for trajectory tooling.
+
+use hep_bench::banner;
+use hep_core::{plan_ingest, Hep, HepConfig};
+use hep_graph::partitioner::CountingSink;
+use hep_graph::{BinaryEdgeFile, IoMode};
+use hep_metrics::table::{format_bytes, format_secs, Table};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock of `f`, with the result kept live.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    banner(
+        "IO scaling: buffered vs mmap HEPB passes, budget-vs-τ planning",
+        "Backends are bit-identical in output; this measures the syscall/\n\
+         page-fault trade and the planner's τ/sweep degradation curve.",
+    );
+    let test = hep_bench::test_mode();
+    let reps = if test { 1 } else { 3 };
+    let (n, m) = if test { (20_000u32, 160_000u64) } else { (150_000, 1_500_000) };
+    let g = hep_gen::GraphSpec::ChungLu { n, m, gamma: 2.2 }.generate(21);
+    let mut path = std::env::temp_dir();
+    path.push(format!("hep_io_scaling_{}.hepb", std::process::id()));
+    let file = BinaryEdgeFile::write(&path, &g).unwrap();
+    let tau = 10.0;
+
+    // Raw pass throughput (degree pass = one full-file scan + classify)
+    // and the end-to-end file-driven pipeline, per backend.
+    let mut pass_secs = Vec::new();
+    let mut pipeline_secs = Vec::new();
+    let mut t = Table::new(["backend", "degree pass", "full pipeline"]);
+    for mode in [IoMode::Buffered, IoMode::Mmap] {
+        let f = file.clone().with_io_mode(mode);
+        let backend = f.pass().unwrap().backend();
+        let pass = best_of(reps, || f.degree_stats(tau).unwrap().num_high);
+        let pipeline = best_of(reps, || {
+            let mut config = HepConfig::with_tau(tau);
+            config.io_mode = mode;
+            config.memory_budget_bytes = None;
+            let mut sink = CountingSink::default();
+            Hep { config }.partition_file_with_report(&f, 32, &mut sink).unwrap();
+            sink.counts.len()
+        });
+        t.row([format!("{mode:?} (ran {backend:?})"), format_secs(pass), format_secs(pipeline)]);
+        pass_secs.push((mode, backend, pass));
+        pipeline_secs.push((mode, pipeline));
+    }
+    println!("{}", t.render());
+
+    // Budget-vs-τ: the planner's degradation curve from unbounded down to
+    // fractions of the single-sweep footprint. Infeasible budgets (below
+    // the all-high floor) are recorded as such.
+    let stats = file.degree_stats(tau).unwrap();
+    let unbounded = plan_ingest(&stats.degrees, stats.mean_degree, tau, None).unwrap();
+    let single_sweep = unbounded.estimated_peak_bytes;
+    let mut t = Table::new(["budget", "τ ran", "column sweeps", "est. peak"]);
+    let mut budget_rows = Vec::new();
+    let budgets: Vec<Option<u64>> = std::iter::once(None)
+        .chain(
+            [1.0, 0.9, 0.75, 0.5, 0.25, 0.1, 0.02].map(|f| Some((single_sweep as f64 * f) as u64)),
+        )
+        .collect();
+    for budget in budgets {
+        let label = budget.map_or("unbounded".into(), format_bytes);
+        match plan_ingest(&stats.degrees, stats.mean_degree, tau, budget) {
+            Ok(plan) => {
+                t.row([
+                    label,
+                    format!("{}", plan.tau),
+                    format!("{}", plan.column_passes),
+                    format_bytes(plan.estimated_peak_bytes),
+                ]);
+                budget_rows.push((budget, Some(plan)));
+            }
+            Err(e) => {
+                t.row([label, format!("infeasible ({e})"), String::new(), String::new()]);
+                budget_rows.push((budget, None));
+            }
+        }
+    }
+    println!("{}", t.render());
+    std::fs::remove_file(&path).ok();
+
+    // Hand-rolled JSON (the workspace has no serde): one flat record.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"io_scaling\",");
+    let _ = writeln!(json, "  \"test_mode\": {test},");
+    let _ = writeln!(json, "  \"vertices\": {n},");
+    let _ = writeln!(json, "  \"edges\": {m},");
+    let _ = writeln!(json, "  \"tau\": {tau},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    for (key, rows) in [("pass_secs", &pass_secs)] {
+        let _ = writeln!(json, "  \"{key}\": {{");
+        for (i, (mode, backend, secs)) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    \"{mode:?}\": {{\"ran\": \"{backend:?}\", \"secs\": {}}}{comma}",
+                json_f64(*secs)
+            );
+        }
+        let _ = writeln!(json, "  }},");
+    }
+    let _ = writeln!(json, "  \"pipeline_secs\": {{");
+    for (i, (mode, secs)) in pipeline_secs.iter().enumerate() {
+        let comma = if i + 1 < pipeline_secs.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{mode:?}\": {}{comma}", json_f64(*secs));
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"budget_vs_tau\": [");
+    for (i, (budget, plan)) in budget_rows.iter().enumerate() {
+        let comma = if i + 1 < budget_rows.len() { "," } else { "" };
+        let b = budget.map_or("null".into(), |b| b.to_string());
+        match plan {
+            Some(p) => {
+                let _ = writeln!(
+                    json,
+                    "    {{\"budget_bytes\": {b}, \"tau\": {}, \"column_passes\": {}, \
+                     \"estimated_peak_bytes\": {}, \"resident_bytes\": {}}}{comma}",
+                    p.tau, p.column_passes, p.estimated_peak_bytes, p.resident_bytes
+                );
+            }
+            None => {
+                let _ =
+                    writeln!(json, "    {{\"budget_bytes\": {b}, \"infeasible\": true}}{comma}");
+            }
+        }
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write("BENCH_io.json", &json).unwrap();
+    println!("wrote BENCH_io.json");
+}

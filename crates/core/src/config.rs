@@ -1,5 +1,7 @@
 //! HEP configuration.
 
+use hep_graph::IoMode;
+
 /// Tunables of a HEP run. The paper's evaluated configurations are
 /// `tau ∈ {100, 10, 1}` with HDRF defaults for the streaming phase.
 #[derive(Clone, Debug)]
@@ -40,6 +42,20 @@ pub struct HepConfig {
     /// output exactly. Defaults to the `HEP_REFINE_PASSES` environment
     /// variable when set, else [`DEFAULT_REFINE_PASSES`].
     pub refine_passes: u32,
+    /// Memory budget for the out-of-core ingestion pipeline (§4.2: the
+    /// machine's memory budget is the planner's primary input). When set,
+    /// [`crate::planner::plan_ingest`] chooses τ and the column-sweep
+    /// count so the estimated peak ingestion+build footprint fits; τ is
+    /// **degraded** (never the budget exceeded) when the configured τ
+    /// does not fit. `None` ingests unbounded at the configured τ.
+    /// Defaults to the `HEP_MEMORY_BUDGET` environment variable when set
+    /// (bytes, with optional `K`/`M`/`G` suffix).
+    pub memory_budget_bytes: Option<u64>,
+    /// How file-backed passes read the edge file (buffered vs mmap); the
+    /// config-level override of the `HEP_IO_MODE` environment default.
+    /// Backends are bit-identical in output; this only trades syscalls
+    /// for page faults.
+    pub io_mode: IoMode,
 }
 
 /// Default [`HepConfig::refine_passes`] when `HEP_REFINE_PASSES` is unset:
@@ -73,6 +89,32 @@ fn env_refine_passes() -> u32 {
     })
 }
 
+/// Parses a byte count with an optional `K`/`M`/`G` (binary) suffix,
+/// e.g. `64M`, `1G`, `1048576`. `None` on anything else.
+pub fn parse_byte_size(s: &str) -> Option<u64> {
+    let t = s.trim();
+    if t.is_empty() {
+        return None;
+    }
+    let (digits, mult) = match t.as_bytes()[t.len() - 1].to_ascii_uppercase() {
+        b'K' => (&t[..t.len() - 1], 1u64 << 10),
+        b'M' => (&t[..t.len() - 1], 1u64 << 20),
+        b'G' => (&t[..t.len() - 1], 1u64 << 30),
+        _ => (t, 1),
+    };
+    let value: u64 = digits.trim().parse().ok()?;
+    value.checked_mul(mult)
+}
+
+/// `HEP_MEMORY_BUDGET` environment default, resolved once per process.
+fn env_memory_budget() -> Option<u64> {
+    use std::sync::OnceLock;
+    static BUDGET: OnceLock<Option<u64>> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("HEP_MEMORY_BUDGET").ok().and_then(|v| parse_byte_size(&v)).filter(|&b| b > 0)
+    })
+}
+
 impl Default for HepConfig {
     fn default() -> Self {
         HepConfig {
@@ -84,6 +126,8 @@ impl Default for HepConfig {
             split_factor: env_split_factor(),
             parallel_nepp: true,
             refine_passes: env_refine_passes(),
+            memory_budget_bytes: env_memory_budget(),
+            io_mode: IoMode::from_env(),
         }
     }
 }
@@ -126,6 +170,11 @@ impl HepConfig {
                 self.refine_passes
             )));
         }
+        if self.memory_budget_bytes == Some(0) {
+            return Err(hep_graph::GraphError::InvalidConfig(
+                "memory_budget_bytes must be positive (use None for unbounded)".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -167,6 +216,29 @@ mod tests {
         assert!(HepConfig { refine_passes: 65, ..Default::default() }.validate().is_err());
         assert!(HepConfig { refine_passes: 0, ..Default::default() }.validate().is_ok());
         assert!(HepConfig::with_tau(1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn byte_size_parsing() {
+        assert_eq!(parse_byte_size("1048576"), Some(1 << 20));
+        assert_eq!(parse_byte_size("64M"), Some(64 << 20));
+        assert_eq!(parse_byte_size("64m"), Some(64 << 20));
+        assert_eq!(parse_byte_size("2G"), Some(2 << 30));
+        assert_eq!(parse_byte_size("16K"), Some(16 << 10));
+        assert_eq!(parse_byte_size(" 8 M "), Some(8 << 20));
+        assert_eq!(parse_byte_size(""), None);
+        assert_eq!(parse_byte_size("M"), None);
+        assert_eq!(parse_byte_size("-3"), None);
+        assert_eq!(parse_byte_size("lots"), None);
+        assert_eq!(parse_byte_size(&format!("{}G", u64::MAX)), None, "suffix overflow checked");
+    }
+
+    #[test]
+    fn zero_budget_is_rejected() {
+        let c = HepConfig { memory_budget_bytes: Some(0), ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = HepConfig { memory_budget_bytes: Some(1 << 20), ..Default::default() };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -8,10 +8,12 @@
 use crate::config::HepConfig;
 use crate::nepp::{run_nepp, NeppStats};
 use crate::nepp_par::run_nepp_par;
+use crate::planner::{plan_ingest, IngestPlan};
 use crate::streaming::stream_h2h;
 use hep_graph::partitioner::check_inputs;
 use hep_graph::{
-    AssignSink, BinaryEdgeFile, DegreeStats, EdgeList, EdgePartitioner, GraphError, PrunedCsr,
+    AssignSink, BinaryEdgeFile, DegreeStats, Edge, EdgeList, EdgePartitioner, GraphError, IoMode,
+    PrunedCsr,
 };
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,6 +38,40 @@ impl Drop for TempFileGuard {
     fn drop(&mut self) {
         std::fs::remove_file(&self.0).ok();
     }
+}
+
+/// Out-of-core ingestion: the degree pass plus the budget-planned CSR
+/// build, streamed straight off `file` with h2h edges handed to `h2h_sink`
+/// as they are discovered. This is the exact region the memory budget of
+/// §4.2 governs, factored out so [`Hep::partition_file_with_report`] and
+/// the allocation-tracking tests measure the same code path.
+///
+/// When `memory_budget_bytes` is set, [`plan_ingest`] first picks the
+/// column-sweep count — and, only if no sweep count suffices, a degraded
+/// τ — so the estimated peak footprint fits; the returned [`IngestPlan`]
+/// records what actually ran. `io_mode` overrides the file's pass backend
+/// ([`IoMode::Auto`] keeps the file's own setting, which defaults to the
+/// `HEP_IO_MODE` environment).
+pub fn ingest_file_budgeted(
+    file: &BinaryEdgeFile,
+    tau: f64,
+    memory_budget_bytes: Option<u64>,
+    io_mode: IoMode,
+    h2h_sink: impl FnMut(Edge),
+) -> Result<(PrunedCsr, IngestPlan), GraphError> {
+    let file = file.clone().with_io_mode(io_mode);
+    let stats = file.degree_stats(tau)?;
+    let plan = plan_ingest(&stats.degrees, stats.mean_degree, tau, memory_budget_bytes)?;
+    // A degraded τ re-classifies from the degrees already in hand — no
+    // extra pass over the file.
+    let stats = if plan.tau == tau {
+        stats
+    } else {
+        DegreeStats::from_degrees(stats.degrees, stats.mean_degree, plan.tau)
+    };
+    let csr =
+        PrunedCsr::build_from_passes_budgeted(stats, || file.pass(), h2h_sink, plan.column_passes)?;
+    Ok((csr, plan))
 }
 
 /// Hybrid Edge Partitioner (paper §3). `HEP-x` in the experiment tables
@@ -63,6 +99,7 @@ pub struct PhaseTimings {
 }
 
 /// Detailed report of a HEP run, beyond the plain edge assignment.
+#[derive(Debug)]
 pub struct HepRunReport {
     /// NE++ statistics (clean-up fractions, core/secondary degrees, ...).
     pub nepp: NeppStats,
@@ -82,6 +119,11 @@ pub struct HepRunReport {
     pub partition_sizes: Vec<u64>,
     /// Per-phase wall-clock breakdown.
     pub timings: PhaseTimings,
+    /// The executed ingestion plan of the file driver: the τ actually run
+    /// (degraded below the configured τ only when no column-sweep count
+    /// fits the budget), the sweep count, and the planner's footprint
+    /// estimates. `None` for in-memory runs, which ingest nothing.
+    pub ingest: Option<IngestPlan>,
 }
 
 impl Hep {
@@ -121,15 +163,16 @@ impl Hep {
         if let Some(err) = write_err {
             return Err(err.into());
         }
-        self.finish_phases(csr, k, guard, build_start.elapsed().as_secs_f64(), sink)
+        self.finish_phases(csr, k, guard, build_start.elapsed().as_secs_f64(), None, sink)
     }
 
     /// Runs both phases directly off a headered binary edge file, never
-    /// materializing an [`EdgeList`]: the degree pass and the two CSR
-    /// construction passes stream over the file with a reused read buffer
-    /// (§4.1 applied to disk). Everything after graph building — including
-    /// the parallel NE++ dispatch — is shared with
-    /// [`Hep::partition_with_report`].
+    /// materializing an [`EdgeList`]: the degree pass and the CSR column
+    /// sweeps stream over the file with a reused read buffer (§4.1 applied
+    /// to disk), honoring [`HepConfig::memory_budget_bytes`] and
+    /// [`HepConfig::io_mode`] via [`ingest_file_budgeted`]. Everything
+    /// after graph building — including the parallel NE++ dispatch — is
+    /// shared with [`Hep::partition_with_report`].
     pub fn partition_file_with_report(
         &self,
         file: &BinaryEdgeFile,
@@ -144,14 +187,15 @@ impl Hep {
         }
         self.config.validate()?;
         let build_start = Instant::now();
-        let stats = file.degree_stats(self.config.tau)?;
         let h2h_path = h2h_temp_path();
         let guard = TempFileGuard(h2h_path.clone());
         let mut writer = std::io::BufWriter::new(std::fs::File::create(&h2h_path)?);
         let mut write_err: Option<std::io::Error> = None;
-        let csr = PrunedCsr::build_from_passes(
-            stats,
-            || file.pass(),
+        let (csr, plan) = ingest_file_budgeted(
+            file,
+            self.config.tau,
+            self.config.memory_budget_bytes,
+            self.config.io_mode,
             |e| {
                 let r = writer
                     .write_all(&e.src.to_le_bytes())
@@ -166,7 +210,7 @@ impl Hep {
         if let Some(err) = write_err {
             return Err(err.into());
         }
-        self.finish_phases(csr, k, guard, build_start.elapsed().as_secs_f64(), sink)
+        self.finish_phases(csr, k, guard, build_start.elapsed().as_secs_f64(), Some(plan), sink)
     }
 
     /// Phases 1 and 2, shared by the in-memory and on-disk drivers: NE++
@@ -178,6 +222,7 @@ impl Hep {
         k: u32,
         guard: TempFileGuard,
         build_secs: f64,
+        ingest: Option<IngestPlan>,
         sink: &mut dyn AssignSink,
     ) -> Result<HepRunReport, GraphError> {
         let h2h_path = guard.0.clone();
@@ -203,13 +248,16 @@ impl Hep {
         // Phase 2: informed stateful streaming over the h2h edge file.
         let stream_start = Instant::now();
         let mut read_err: Option<GraphError> = None;
-        let reader = EdgeList::stream_binary(&h2h_path)?.map_while(|r| match r {
-            Ok(e) => Some(e),
-            Err(e) => {
-                read_err.get_or_insert(e);
-                None
-            }
-        });
+        let reader =
+            EdgeList::stream_binary(&h2h_path)?.with_vertex_bound(num_vertices).map_while(|r| {
+                match r {
+                    Ok(e) => Some(e),
+                    Err(e) => {
+                        read_err.get_or_insert(e);
+                        None
+                    }
+                }
+            });
         // Ablation switch (§3.3): informed streaming starts from NE++'s
         // secondary sets and loads; uninformed starts cold like plain HDRF.
         let informed = self.config.informed_streaming;
@@ -247,6 +295,7 @@ impl Hep {
             mean_degree,
             trace: nepp.trace,
             partition_sizes,
+            ingest,
             timings: PhaseTimings {
                 build_secs,
                 nepp_secs,
@@ -418,6 +467,67 @@ mod tests {
         assert_eq!(mem.inmem_edges, from_file.inmem_edges);
         assert_eq!(mem.partition_sizes, from_file.partition_sizes);
         assert!(from_file.timings.build_secs >= 0.0);
+    }
+
+    #[test]
+    fn budgeted_file_driver_matches_unbudgeted_output() {
+        let g = hep_gen::GraphSpec::ChungLu { n: 900, m: 8000, gamma: 2.0 }.generate(13);
+        let mut path = std::env::temp_dir();
+        path.push(format!("hep_budgeted_driver_test_{}.hepb", std::process::id()));
+        let file = BinaryEdgeFile::write(&path, &g).unwrap();
+        let tau = 10.0;
+        let unbudgeted = {
+            let mut config = HepConfig::with_tau(tau);
+            config.memory_budget_bytes = None;
+            let mut sink = CollectedAssignment::default();
+            let report = Hep { config }.partition_file_with_report(&file, 8, &mut sink).unwrap();
+            let plan = report.ingest.expect("file driver always reports an ingest plan");
+            assert_eq!(plan.tau, tau);
+            assert_eq!(plan.column_passes, 1, "unbounded runs ingest in one sweep");
+            (sink.assignments, report.partition_sizes, plan)
+        };
+        // A budget one byte below the single-sweep peak forces extra column
+        // sweeps at the same τ; the assignment must be bit-identical.
+        let stats = file.degree_stats(tau).unwrap();
+        let one_sweep =
+            crate::planner::plan_ingest(&stats.degrees, stats.mean_degree, tau, None).unwrap();
+        let mut config = HepConfig::with_tau(tau);
+        config.memory_budget_bytes = Some(one_sweep.estimated_peak_bytes - 1);
+        let mut sink = CollectedAssignment::default();
+        let report = Hep { config }.partition_file_with_report(&file, 8, &mut sink).unwrap();
+        std::fs::remove_file(&path).ok();
+        let plan = report.ingest.unwrap();
+        assert_eq!(plan.tau, tau, "budget was met by sweeping, not by degrading τ");
+        assert!(plan.column_passes > 1, "tight budget must force extra sweeps");
+        assert!(plan.estimated_peak_bytes < one_sweep.estimated_peak_bytes);
+        assert_eq!(sink.assignments, unbudgeted.0, "budgeted ingestion changed the output");
+        assert_eq!(report.partition_sizes, unbudgeted.1);
+    }
+
+    #[test]
+    fn in_memory_run_reports_no_ingest_plan() {
+        let g = hep_gen::GraphSpec::ChungLu { n: 300, m: 2000, gamma: 2.1 }.generate(14);
+        let (_, report) = run(&g, 4, 10.0);
+        assert!(report.ingest.is_none());
+    }
+
+    #[test]
+    fn impossible_budget_surfaces_typed_error() {
+        let g = hep_gen::GraphSpec::ChungLu { n: 400, m: 3000, gamma: 2.0 }.generate(15);
+        let mut path = std::env::temp_dir();
+        path.push(format!("hep_impossible_budget_test_{}.hepb", std::process::id()));
+        let file = BinaryEdgeFile::write(&path, &g).unwrap();
+        let mut config = HepConfig::with_tau(10.0);
+        config.memory_budget_bytes = Some(1);
+        let mut sink = CountingSink::default();
+        let err = Hep { config }.partition_file_with_report(&file, 4, &mut sink).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        match err {
+            GraphError::BudgetExceeded { budget_bytes: 1, required_bytes } => {
+                assert!(required_bytes > 1);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
     }
 
     #[test]

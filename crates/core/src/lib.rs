@@ -27,13 +27,14 @@ pub mod refine;
 pub mod simple_hybrid;
 pub mod streaming;
 
-pub use config::{HepConfig, DEFAULT_REFINE_PASSES};
-pub use hep::{Hep, HepRunReport, PhaseTimings};
+pub use config::{parse_byte_size, HepConfig, DEFAULT_REFINE_PASSES};
+pub use hep::{ingest_file_budgeted, Hep, HepRunReport, PhaseTimings};
 pub use nepp::{NeppResult, NeppStats};
 pub use nepp_par::run_nepp_par;
 pub use planner::{
     estimate_footprint_bytes, estimate_parallel_nepp_overhead_bytes,
-    estimate_refine_overhead_bytes, plan_tau, TauPlan,
+    estimate_refine_overhead_bytes, ingest_peak_bytes, plan_ingest, plan_tau, IngestPlan, TauPlan,
+    INGEST_FIXED_OVERHEAD_BYTES, INGEST_SWEEP_GRID,
 };
 pub use refine::{RefineProbe, RefineProbeRun};
 pub use simple_hybrid::SimpleHybrid;

@@ -132,6 +132,131 @@ pub fn estimate_refine_overhead_bytes(graph: &EdgeList, tau: f64, k: u32) -> u64
     index + owner + pools + queue
 }
 
+/// An ingestion plan under a memory budget: the τ and column-sweep count
+/// the out-of-core pipeline will run with, plus its predicted footprints.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IngestPlan {
+    /// The chosen threshold factor (≤ the requested τ; degraded only when
+    /// the requested τ cannot fit the budget at any sweep count).
+    pub tau: f64,
+    /// Column-insertion sweeps for
+    /// [`hep_graph::PrunedCsr::build_from_passes_budgeted`] (1 = the plain
+    /// two-pass build).
+    pub column_passes: usize,
+    /// Predicted peak heap bytes of the degree pass + CSR build.
+    pub estimated_peak_bytes: u64,
+    /// Predicted heap bytes resident after the build (the CSR itself plus
+    /// degree statistics) — what phase 1 starts from.
+    pub resident_bytes: u64,
+}
+
+/// Fixed ingestion overhead the peak model charges on top of the sized
+/// arrays: the pass read buffer (1 MiB), the h2h spill writer and
+/// allocator slack.
+pub const INGEST_FIXED_OVERHEAD_BYTES: u64 = 2 << 20;
+
+/// Sweep counts the ingest planner considers (powers of two: each step
+/// halves the transient cursor arrays at the price of one more pass over
+/// the file).
+pub const INGEST_SWEEP_GRID: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Heap bytes resident after a budgeted build: degree statistics (degrees
+/// + high bitset), size fields, index arrays and the column array.
+fn ingest_resident_bytes(n: u64, column_entries: u64) -> u64 {
+    4 * n                      // DegreeStats::degrees
+        + n.div_ceil(64) * 8   // DegreeStats high bitset
+        + 8 * n                // out/in size fields
+        + 8 * (n + 1) + 8 * n  // dual index arrays
+        + 4 * column_entries // column array
+}
+
+/// Predicted peak heap bytes of a budgeted ingestion+build at `sweeps`
+/// column passes: the resident arrays plus the transient relative cursors
+/// (`8·⌈n/sweeps⌉`) and the fixed overhead.
+pub fn ingest_peak_bytes(n: u64, column_entries: u64, sweeps: usize) -> u64 {
+    ingest_resident_bytes(n, column_entries)
+        + 8 * n.div_ceil(sweeps.max(1) as u64)
+        + INGEST_FIXED_OVERHEAD_BYTES
+}
+
+/// Plans out-of-core ingestion against a memory budget (§4.2: the budget,
+/// not |E|, dictates what is held at once). Given the raw degree sequence
+/// (one file pass, τ-independent), the planner searches τ from
+/// `requested_tau` downward (halving) and, per τ, the smallest sweep count
+/// in [`INGEST_SWEEP_GRID`] whose predicted peak
+/// ([`ingest_peak_bytes`]) fits — **quality first**: τ is degraded only
+/// when no sweep count fits, so the plan never exceeds the budget and
+/// gives up the least possible pruning quality. `budget_bytes = None`
+/// plans the requested τ at one sweep.
+///
+/// Errors with [`GraphError::BudgetExceeded`] when even the most degraded
+/// plan (τ classifying only isolated vertices as low, maximum sweeps)
+/// misses the budget — the floor is the vertex-proportional state, which
+/// no τ can shrink.
+pub fn plan_ingest(
+    degrees: &[u32],
+    mean_degree: f64,
+    requested_tau: f64,
+    budget_bytes: Option<u64>,
+) -> Result<IngestPlan, GraphError> {
+    if requested_tau.is_nan() || requested_tau <= 0.0 {
+        return Err(GraphError::InvalidConfig(format!(
+            "tau must be positive, got {requested_tau}"
+        )));
+    }
+    let n = degrees.len() as u64;
+    let max_d = degrees.iter().copied().max().unwrap_or(0) as usize;
+    let mut weight_upto = vec![0u64; max_d + 2];
+    for &d in degrees {
+        weight_upto[d as usize + 1] += d as u64;
+    }
+    for i in 1..weight_upto.len() {
+        weight_upto[i] += weight_upto[i - 1];
+    }
+    let entries_at = |tau: f64| -> u64 {
+        match hep_graph::degrees::low_degree_cutoff(tau, mean_degree, max_d as u32) {
+            Some(cutoff) => weight_upto[cutoff as usize + 1],
+            None => 0,
+        }
+    };
+    let budget = match budget_bytes {
+        None => {
+            let entries = entries_at(requested_tau);
+            return Ok(IngestPlan {
+                tau: requested_tau,
+                column_passes: 1,
+                estimated_peak_bytes: ingest_peak_bytes(n, entries, 1),
+                resident_bytes: ingest_resident_bytes(n, entries),
+            });
+        }
+        Some(b) => b,
+    };
+    // τ halves until the low-degree cutoff bottoms out at zero entries; 64
+    // halvings cross the whole f64 range of useful thresholds.
+    let mut tau = requested_tau;
+    let mut min_peak = u64::MAX;
+    for _ in 0..=64 {
+        let entries = entries_at(tau);
+        for sweeps in INGEST_SWEEP_GRID {
+            let peak = ingest_peak_bytes(n, entries, sweeps);
+            min_peak = min_peak.min(peak);
+            if peak <= budget {
+                return Ok(IngestPlan {
+                    tau,
+                    column_passes: sweeps,
+                    estimated_peak_bytes: peak,
+                    resident_bytes: ingest_resident_bytes(n, entries),
+                });
+            }
+        }
+        if entries == 0 {
+            break;
+        }
+        tau /= 2.0;
+    }
+    Err(GraphError::BudgetExceeded { budget_bytes: budget, required_bytes: min_peak })
+}
+
 /// Chooses the **maximum** τ from `tau_grid` whose predicted footprint fits
 /// `budget_bytes`. Returns `None` when even the smallest τ does not fit.
 ///
@@ -285,6 +410,64 @@ mod tests {
         assert!((cyc.mean_degree() - 2.0).abs() < 1e-12);
         let plan = plan_tau(&cyc, 8, u64::MAX, &[1.0]).unwrap().unwrap();
         assert_eq!(plan.estimated_bytes, estimate_footprint_bytes(&cyc, 1.0, 8));
+    }
+
+    #[test]
+    fn ingest_plan_unbounded_keeps_requested_tau_single_sweep() {
+        let g = graph();
+        let plan = plan_ingest(&g.degrees(), g.mean_degree(), 10.0, None).unwrap();
+        assert_eq!(plan.tau, 10.0);
+        assert_eq!(plan.column_passes, 1);
+        assert!(plan.resident_bytes < plan.estimated_peak_bytes);
+        // A generous explicit budget plans identically.
+        let same = plan_ingest(&g.degrees(), g.mean_degree(), 10.0, Some(u64::MAX)).unwrap();
+        assert_eq!(plan, same);
+    }
+
+    #[test]
+    fn ingest_plan_prefers_more_sweeps_over_degrading_tau() {
+        let g = graph();
+        let degrees = g.degrees();
+        let mean = g.mean_degree();
+        let one_sweep = plan_ingest(&degrees, mean, 10.0, None).unwrap();
+        // Squeeze out just the single-sweep cursor slack: more sweeps at
+        // the same tau must fit before tau is touched.
+        let budget = one_sweep.estimated_peak_bytes - 1;
+        let plan = plan_ingest(&degrees, mean, 10.0, Some(budget)).unwrap();
+        assert_eq!(plan.tau, 10.0, "tau must not degrade while sweeps can absorb the cut");
+        assert!(plan.column_passes > 1);
+        assert!(plan.estimated_peak_bytes <= budget);
+    }
+
+    #[test]
+    fn ingest_plan_degrades_tau_rather_than_exceeding_budget() {
+        let g = graph();
+        let degrees = g.degrees();
+        let mean = g.mean_degree();
+        let n = g.num_vertices as u64;
+        // Budget below what tau=100 needs even at max sweeps, but above
+        // the all-high floor: only a smaller tau fits.
+        let all_low_peak = plan_ingest(&degrees, mean, 100.0, None).unwrap().estimated_peak_bytes;
+        let all_high_peak = ingest_peak_bytes(n, 0, 64);
+        assert!(all_high_peak < all_low_peak);
+        let budget = all_high_peak + (all_low_peak - all_high_peak) / 8;
+        let plan = plan_ingest(&degrees, mean, 100.0, Some(budget)).unwrap();
+        assert!(plan.tau < 100.0, "tau must degrade, got {}", plan.tau);
+        assert!(plan.estimated_peak_bytes <= budget, "plan exceeds budget");
+    }
+
+    #[test]
+    fn ingest_plan_impossible_budget_is_typed_error() {
+        let g = graph();
+        let err = plan_ingest(&g.degrees(), g.mean_degree(), 10.0, Some(1)).unwrap_err();
+        match err {
+            hep_graph::GraphError::BudgetExceeded { budget_bytes, required_bytes } => {
+                assert_eq!(budget_bytes, 1);
+                assert!(required_bytes > 1);
+            }
+            other => panic!("expected BudgetExceeded, got {other}"),
+        }
+        assert!(plan_ingest(&g.degrees(), g.mean_degree(), 0.0, None).is_err());
     }
 
     #[test]

@@ -132,7 +132,8 @@ mod tests {
         path.push(format!("hep_stream_forged_{}.hepb", std::process::id()));
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&hep_graph::binfile::MAGIC);
-        bytes.extend_from_slice(&hep_graph::binfile::VERSION.to_le_bytes());
+        // v1: checksum-free, so the forged payload needs no digest forgery.
+        bytes.extend_from_slice(&hep_graph::binfile::VERSION_V1.to_le_bytes());
         bytes.extend_from_slice(&4u32.to_le_bytes()); // |V| = 4
         bytes.extend_from_slice(&2u64.to_le_bytes()); // 2 edges
         for (s, d) in [(0u32, 1u32), (2, 9)] {

@@ -13,13 +13,17 @@
 //! * [`fx`] — a fast non-cryptographic hasher (the FxHash function used by
 //!   rustc) for the hash maps used by streaming partitioners; integer keys
 //!   dominate, where SipHash would be needlessly slow.
+//! * [`hasher`] — a streaming XXH64 checksum for the on-disk formats (the
+//!   HEPB v2 per-section checksums of `hep-graph::binfile`).
 
 pub mod bitset;
 pub mod fx;
+pub mod hasher;
 pub mod minheap;
 pub mod rng;
 
 pub use bitset::DenseBitset;
 pub use fx::{FxHashMap, FxHashSet, FxHasher};
+pub use hasher::{hash64, Hasher64};
 pub use minheap::IndexedMinHeap;
 pub use rng::SplitMix64;

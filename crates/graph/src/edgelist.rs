@@ -157,8 +157,22 @@ impl EdgeList {
     /// [`EdgeList::write_binary`]), yielding edges without loading the file.
     /// HEP's streaming phase consumes the externalized h2h edge file this
     /// way (§3.3).
+    ///
+    /// The file length is validated up front: a length that is not a
+    /// multiple of 8 is a typed [`GraphError::TruncatedBinary`] at open
+    /// time, not a silently dropped tail.
     pub fn stream_binary(path: impl AsRef<Path>) -> Result<BinaryEdgeReader, GraphError> {
-        Ok(BinaryEdgeReader { reader: BufReader::new(std::fs::File::open(path)?) })
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        let partial = (len % 8) as usize;
+        if partial != 0 {
+            return Err(GraphError::TruncatedBinary { bytes: partial });
+        }
+        Ok(BinaryEdgeReader {
+            reader: BufReader::new(file),
+            remaining: len / 8,
+            vertex_bound: None,
+        })
     }
 
     /// Reads a whitespace-separated text edge list; `#`- and `%`-prefixed
@@ -186,29 +200,69 @@ impl EdgeList {
 }
 
 /// Incremental reader over a binary edge list; yields `Err` once on a
-/// truncated tail or IO failure, then stops.
+/// truncated record, out-of-range endpoint or IO failure, then stops
+/// (fused — a drained consumer must terminate).
+#[derive(Debug)]
 pub struct BinaryEdgeReader {
     reader: BufReader<std::fs::File>,
+    /// Records left, per the length check at open time. Hitting EOF with
+    /// records remaining means the file shrank underneath us.
+    remaining: u64,
+    /// Optional endpoint contract: ids must be `< bound`.
+    vertex_bound: Option<u32>,
+}
+
+impl BinaryEdgeReader {
+    /// Enforces an endpoint contract: every yielded edge's ids must be
+    /// `< num_vertices`, else the reader yields a typed
+    /// [`GraphError::VertexOutOfRange`]. HEP wires its header-declared
+    /// vertex count through here so a corrupt h2h spill file is rejected
+    /// at the read, before any index arithmetic.
+    #[must_use]
+    pub fn with_vertex_bound(mut self, num_vertices: u32) -> BinaryEdgeReader {
+        self.vertex_bound = Some(num_vertices);
+        self
+    }
 }
 
 impl Iterator for BinaryEdgeReader {
     type Item = Result<Edge, GraphError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        let mut buf = [0u8; 8];
-        match self.reader.read_exact(&mut buf) {
-            Ok(()) => Some(Ok(Edge::new(
-                u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")),
-                u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")),
-            ))),
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-                // Either clean EOF or a truncated record; peek the buffer to
-                // distinguish is not possible with read_exact, so report a
-                // partial record only if bytes were consumed mid-record.
-                None
-            }
-            Err(e) => Some(Err(GraphError::Io(e))),
+        if self.remaining == 0 {
+            return None;
         }
+        let mut buf = [0u8; 8];
+        let mut got = 0;
+        while got < 8 {
+            match self.reader.read(&mut buf[got..]) {
+                Ok(0) => {
+                    // Length was validated at open; a short record now
+                    // means the file shrank since then.
+                    self.remaining = 0;
+                    return Some(Err(GraphError::TruncatedBinary { bytes: got }));
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.remaining = 0;
+                    return Some(Err(GraphError::Io(e)));
+                }
+            }
+        }
+        let e = Edge::new(
+            u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")),
+            u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")),
+        );
+        if let Some(bound) = self.vertex_bound {
+            let m = e.src.max(e.dst);
+            if m >= bound {
+                self.remaining = 0;
+                return Some(Err(GraphError::VertexOutOfRange { vertex: m, num_vertices: bound }));
+            }
+        }
+        self.remaining -= 1;
+        Some(Ok(e))
     }
 }
 
@@ -287,6 +341,51 @@ mod tests {
         std::fs::write(&p, []).unwrap();
         assert_eq!(EdgeList::stream_binary(&p).unwrap().count(), 0);
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn stream_binary_truncated_tail_is_typed_error_not_silent_drop() {
+        // Regression: the reader used to map a trailing partial record to
+        // a clean EOF, silently dropping corrupt tail bytes. The length is
+        // now checked at open.
+        let p = tmp("stream_trunc");
+        std::fs::write(&p, [1u8, 0, 0, 0, 2, 0, 0, 0, 9, 9, 9]).unwrap();
+        let err = EdgeList::stream_binary(&p).unwrap_err();
+        std::fs::remove_file(&p).ok();
+        assert!(matches!(err, GraphError::TruncatedBinary { bytes: 3 }), "got {err}");
+    }
+
+    #[test]
+    fn stream_binary_shrunk_file_fails_fused() {
+        let el = EdgeList::from_pairs([(0, 1), (2, 3), (4, 5)]);
+        let p = tmp("stream_shrunk");
+        el.write_binary(&p).unwrap();
+        let reader = EdgeList::stream_binary(&p).unwrap();
+        // Shrink mid-record after open: the reader must notice, with a
+        // typed error, and fuse (one Err, then None).
+        let handle = std::fs::OpenOptions::new().write(true).open(&p).unwrap();
+        handle.set_len(8 + 5).unwrap();
+        let items: Vec<Result<Edge, GraphError>> = reader.collect();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(items.len(), 2, "got {items:?}");
+        assert!(items[0].is_ok());
+        assert!(matches!(items[1], Err(GraphError::TruncatedBinary { bytes: 5 })), "got {items:?}");
+    }
+
+    #[test]
+    fn stream_binary_vertex_bound_rejects_out_of_range() {
+        let el = EdgeList::from_pairs([(0, 1), (2, 9)]);
+        let p = tmp("stream_bound");
+        el.write_binary(&p).unwrap();
+        let items: Vec<Result<Edge, GraphError>> =
+            EdgeList::stream_binary(&p).unwrap().with_vertex_bound(4).collect();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(items.len(), 2);
+        assert!(items[0].is_ok());
+        assert!(
+            matches!(items[1], Err(GraphError::VertexOutOfRange { vertex: 9, num_vertices: 4 })),
+            "got {items:?}"
+        );
     }
 
     #[test]

@@ -21,6 +21,25 @@ pub enum GraphError {
     InvalidConfig(String),
     /// A headered binary edge file had a malformed or inconsistent header.
     BadHeader(String),
+    /// A checksummed section of a binary edge file failed verification
+    /// (HEPB v2 carries one checksum over the header and one over the edge
+    /// payload).
+    ChecksumMismatch {
+        /// Which section failed (`"header"` or `"payload"`).
+        section: &'static str,
+        /// The checksum recorded in the file.
+        expected: u64,
+        /// The checksum computed over the bytes actually read.
+        actual: u64,
+    },
+    /// The configured memory budget cannot be met: even the most degraded
+    /// ingestion plan (smallest τ, maximum column chunking) needs more.
+    BudgetExceeded {
+        /// The configured budget in bytes.
+        budget_bytes: u64,
+        /// The smallest estimated peak any plan achieves.
+        required_bytes: u64,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -42,6 +61,20 @@ impl fmt::Display for GraphError {
             }
             GraphError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             GraphError::BadHeader(msg) => write!(f, "bad edge file header: {msg}"),
+            GraphError::ChecksumMismatch { section, expected, actual } => {
+                write!(
+                    f,
+                    "{section} checksum mismatch: file records {expected:#018x}, \
+                     computed {actual:#018x} (corrupt or tampered edge file)"
+                )
+            }
+            GraphError::BudgetExceeded { budget_bytes, required_bytes } => {
+                write!(
+                    f,
+                    "memory budget {budget_bytes} bytes cannot be met: \
+                     the smallest ingestion plan needs {required_bytes} bytes"
+                )
+            }
         }
     }
 }

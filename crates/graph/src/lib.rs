@@ -14,9 +14,10 @@
 //!   high-degree vertices are omitted, edges between two high-degree vertices
 //!   are externalized into an `h2h` buffer, each vertex has separate out/in
 //!   lists with `size` fields enabling O(1) lazy edge removal (§3.2.2).
-//! * [`BinaryEdgeFile`] — a headered on-disk edge list with buffered
-//!   streaming passes, so the degree pass and CSR construction can run
-//!   directly off disk without materializing an [`EdgeList`].
+//! * [`BinaryEdgeFile`] — a headered, checksummed (HEPB v2) on-disk edge
+//!   list with buffered or memory-mapped streaming passes ([`IoMode`]),
+//!   so the degree pass and CSR construction can run directly off disk
+//!   without materializing an [`EdgeList`].
 //! * [`AssignSink`] / [`EdgePartitioner`] — the interface every partitioner
 //!   in the workspace implements, so metrics and experiments are uniform.
 
@@ -29,7 +30,7 @@ pub mod partitioner;
 pub mod pruned_csr;
 pub mod types;
 
-pub use binfile::BinaryEdgeFile;
+pub use binfile::{BinaryEdgeFile, IoBackend, IoMode, PassSource};
 pub use csr::Csr;
 pub use degrees::DegreeStats;
 pub use edgelist::EdgeList;

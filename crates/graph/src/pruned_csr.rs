@@ -286,8 +286,34 @@ impl PrunedCsr {
     /// out-of-bounds index.
     pub fn build_from_passes<I>(
         stats: DegreeStats,
+        make_pass: impl FnMut() -> Result<I, GraphError>,
+        h2h_sink: impl FnMut(Edge),
+    ) -> Result<Self, GraphError>
+    where
+        I: Iterator<Item = Result<Edge, GraphError>>,
+    {
+        Self::build_from_passes_budgeted(stats, make_pass, h2h_sink, 1)
+    }
+
+    /// [`PrunedCsr::build_from_passes`] with the column-insertion phase
+    /// split into `column_passes` sequential sweeps — the spillable column
+    /// construction of the bounded-memory pipeline (paper §4.2: the memory
+    /// budget, not |E|, dictates what is held at once).
+    ///
+    /// Sweep `r` re-reads the edge source and inserts only entries owned
+    /// by vertices in the `r`-th contiguous slice of the id space, so the
+    /// transient insertion state shrinks from cursors over all of `V` to
+    /// cursors over `|V| / column_passes` vertices (`8·⌈|V|/S⌉` bytes
+    /// instead of `16·|V|`) — IO passes traded for peak memory. Per-vertex
+    /// insertion order equals input order in every sweep, so the built CSR
+    /// (and the h2h sequence, emitted during the first sweep only) is
+    /// **bit-identical for any `column_passes`**, which the determinism
+    /// tests pin.
+    pub fn build_from_passes_budgeted<I>(
+        stats: DegreeStats,
         mut make_pass: impl FnMut() -> Result<I, GraphError>,
         mut h2h_sink: impl FnMut(Edge),
+        column_passes: usize,
     ) -> Result<Self, GraphError>
     where
         I: Iterator<Item = Result<Edge, GraphError>>,
@@ -323,23 +349,54 @@ impl PrunedCsr {
         let (index_out, index_in) = Self::index_arrays(&out_cap, &in_cap);
         let total = index_out[n] as usize;
         let mut col = vec![0u32; total];
-        let mut out_cursor: Vec<u64> = index_out[..n].to_vec();
-        let mut in_cursor = index_in.clone();
-        for e in make_pass()? {
-            let e = check_range(e?)?;
-            let src_high = stats.is_high(e.src);
-            let dst_high = stats.is_high(e.dst);
-            if src_high && dst_high {
-                h2h_sink(e);
-                continue;
+        let sweeps = column_passes.clamp(1, n.max(1));
+        let seg_len = n.div_ceil(sweeps).max(1);
+        // Cursors are *relative* to the vertex's list start (u32: a list
+        // holds at most `u32` entries by construction), sized to one
+        // segment, and reused across sweeps.
+        let mut out_rel = vec![0u32; seg_len.min(n)];
+        let mut in_rel = vec![0u32; seg_len.min(n)];
+        let mut lo = 0usize;
+        while lo < n || (n == 0 && lo == 0) {
+            let hi = (lo + seg_len).min(n);
+            let first_sweep = lo == 0;
+            out_rel[..hi - lo].fill(0);
+            in_rel[..hi - lo].fill(0);
+            for e in make_pass()? {
+                let e = check_range(e?)?;
+                let src_high = stats.is_high(e.src);
+                let dst_high = stats.is_high(e.dst);
+                if src_high && dst_high {
+                    if first_sweep {
+                        h2h_sink(e);
+                    }
+                    continue;
+                }
+                let src = e.src as usize;
+                if !src_high && (lo..hi).contains(&src) {
+                    let rel = &mut out_rel[src - lo];
+                    if *rel >= out_cap[src] {
+                        // More entries than the counting pass saw: the
+                        // source changed between passes. A typed error,
+                        // not a scatter into another vertex's segment.
+                        return Err(GraphError::TruncatedBinary { bytes: 0 });
+                    }
+                    col[(index_out[src] + *rel as u64) as usize] = e.dst;
+                    *rel += 1;
+                }
+                let dst = e.dst as usize;
+                if !dst_high && (lo..hi).contains(&dst) {
+                    let rel = &mut in_rel[dst - lo];
+                    if *rel >= in_cap[dst] {
+                        return Err(GraphError::TruncatedBinary { bytes: 0 });
+                    }
+                    col[(index_in[dst] + *rel as u64) as usize] = e.src;
+                    *rel += 1;
+                }
             }
-            if !src_high {
-                col[out_cursor[e.src as usize] as usize] = e.dst;
-                out_cursor[e.src as usize] += 1;
-            }
-            if !dst_high {
-                col[in_cursor[e.dst as usize] as usize] = e.src;
-                in_cursor[e.dst as usize] += 1;
+            lo = hi;
+            if n == 0 {
+                break;
             }
         }
         Ok(PrunedCsr {
@@ -666,6 +723,60 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(h2h_a, h2h_b);
         assert_eq!(b.num_edges_total(), g.num_edges());
+    }
+
+    #[test]
+    fn budgeted_build_is_identical_for_any_sweep_count() {
+        let mut g = EdgeList::from_pairs(pseudo_pairs(5_000, 600, 7));
+        g.canonicalize();
+        let stats = DegreeStats::new(&g, 1.5);
+        let build = |sweeps: usize| {
+            let mut h2h = Vec::new();
+            let csr = PrunedCsr::build_from_passes_budgeted(
+                stats.clone(),
+                || Ok(g.edges.iter().copied().map(Ok)),
+                |e| h2h.push(e),
+                sweeps,
+            )
+            .unwrap();
+            (csr, h2h)
+        };
+        let (base_csr, base_h2h) = build(1);
+        assert_eq!(
+            base_csr,
+            PrunedCsr::build_streaming_h2h(&g, stats.clone(), |_| {}),
+            "single-sweep budgeted build must equal the in-memory build"
+        );
+        for sweeps in [2usize, 3, 7, 64, 601, usize::MAX] {
+            let (csr, h2h) = build(sweeps);
+            assert_eq!(csr, base_csr, "CSR diverged at {sweeps} sweeps");
+            assert_eq!(h2h, base_h2h, "h2h order diverged at {sweeps} sweeps");
+        }
+    }
+
+    #[test]
+    fn budgeted_build_rejects_source_growing_between_passes() {
+        // Pass 1 sees one edge, later passes see two for the same vertex:
+        // without the cursor guard this would scatter into a neighbouring
+        // vertex's column segment.
+        let stats = DegreeStats::from_degrees(vec![2, 1, 1], 1.0, 10.0);
+        let mut calls = 0;
+        let err = PrunedCsr::build_from_passes_budgeted(
+            stats,
+            move || {
+                calls += 1;
+                let edges: Vec<Result<Edge, GraphError>> = if calls == 1 {
+                    vec![Ok(Edge::new(0, 1))]
+                } else {
+                    vec![Ok(Edge::new(0, 1)), Ok(Edge::new(0, 2))]
+                };
+                Ok(edges.into_iter())
+            },
+            |_| {},
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::TruncatedBinary { .. }), "got {err}");
     }
 
     #[test]

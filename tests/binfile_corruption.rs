@@ -1,0 +1,346 @@
+//! Corruption battery for the HEPB edge-file format: every way a file can
+//! be damaged — truncation at each section boundary, bit flips of every
+//! header field and of the payload, forged checksums, trailing garbage, v1
+//! and v2 — must surface as a **typed [`GraphError`]**, never a panic and
+//! never a silently wrong partition. Each case is driven through the real
+//! consumers (`open` → degree pass → budgeted CSR build → `stream_h2h` via
+//! [`Hep::partition_file_with_report`]) under both IO backends.
+
+use hep::core::Hep;
+use hep::graph::partitioner::CollectedAssignment;
+use hep::graph::{BinaryEdgeFile, EdgeList, GraphError, IoMode};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_path(name: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "hep_corrupt_{}_{}_{}.hepb",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed),
+        name
+    ))
+}
+
+/// Removes the case's temp file even when an assertion unwinds.
+struct TempFileGuard(PathBuf);
+
+impl Drop for TempFileGuard {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
+
+/// Writes `bytes` to disk and drives the full file pipeline over them.
+/// Returns the typed error; panics (failing the test) if the corrupt bytes
+/// are accepted end-to-end.
+fn drive(bytes: &[u8], name: &str, mode: IoMode) -> GraphError {
+    let path = temp_path(name);
+    let _guard = TempFileGuard(path.clone());
+    std::fs::write(&path, bytes).unwrap();
+    let result = (|| {
+        let file = BinaryEdgeFile::open(&path)?.with_io_mode(mode);
+        let mut sink = CollectedAssignment::default();
+        Hep::with_tau(10.0).partition_file_with_report(&file, 4, &mut sink)?;
+        Ok(())
+    })();
+    match result {
+        Err(e) => e,
+        Ok(()) => panic!("corruption case {name:?} ({mode:?}) was accepted"),
+    }
+}
+
+// ---- error-shape predicates ------------------------------------------------
+
+fn bad_header(e: &GraphError) -> bool {
+    matches!(e, GraphError::BadHeader(_))
+}
+
+fn header_mismatch(e: &GraphError) -> bool {
+    matches!(e, GraphError::ChecksumMismatch { section: "header", .. })
+}
+
+fn payload_mismatch(e: &GraphError) -> bool {
+    matches!(e, GraphError::ChecksumMismatch { section: "payload", .. })
+}
+
+/// A payload byte flip either breaks the checksum or (when the flipped word
+/// leaves the vertex-id space) trips the range check first — both typed.
+fn payload_mismatch_or_oor(e: &GraphError) -> bool {
+    payload_mismatch(e) || matches!(e, GraphError::VertexOutOfRange { .. })
+}
+
+fn out_of_range(e: &GraphError) -> bool {
+    matches!(e, GraphError::VertexOutOfRange { .. })
+}
+
+// ---- pristine-byte fixtures ------------------------------------------------
+
+fn fixture_graph() -> EdgeList {
+    hep::gen::GraphSpec::ChungLu { n: 1000, m: 4000, gamma: 2.2 }.generate(7)
+}
+
+/// Pristine v2 bytes (36-byte checksummed header + payload).
+fn pristine_v2() -> Vec<u8> {
+    let g = fixture_graph();
+    let path = temp_path("pristine_v2");
+    let _guard = TempFileGuard(path.clone());
+    BinaryEdgeFile::write(&path, &g).unwrap();
+    std::fs::read(&path).unwrap()
+}
+
+/// Pristine v1 bytes (20-byte checksum-free header + payload).
+fn pristine_v1() -> Vec<u8> {
+    let g = fixture_graph();
+    let path = temp_path("pristine_v1");
+    let _guard = TempFileGuard(path.clone());
+    BinaryEdgeFile::write_v1(&path, &g).unwrap();
+    std::fs::read(&path).unwrap()
+}
+
+const V2_HEADER: usize = 36;
+const V1_HEADER: usize = 20;
+
+fn flip(bytes: &[u8], offset: usize, mask: u8) -> Vec<u8> {
+    let mut b = bytes.to_vec();
+    b[offset] ^= mask;
+    b
+}
+
+fn zero_range(bytes: &[u8], range: std::ops::Range<usize>) -> Vec<u8> {
+    let mut b = bytes.to_vec();
+    b[range].fill(0);
+    b
+}
+
+fn set_u32(bytes: &[u8], offset: usize, value: u32) -> Vec<u8> {
+    let mut b = bytes.to_vec();
+    b[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+    b
+}
+
+fn set_u64(bytes: &[u8], offset: usize, value: u64) -> Vec<u8> {
+    let mut b = bytes.to_vec();
+    b[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+    b
+}
+
+/// Re-stamps a v2 header checksum over (possibly forged) bytes 0..20 — the
+/// attacker who fixes up the checksum after forging a field.
+fn refit_header_checksum(bytes: &[u8]) -> Vec<u8> {
+    let digest = hep::ds::hasher::hash64(&bytes[..20], 0x4845_5042_0000_0002);
+    set_u64(bytes, 20, digest)
+}
+
+fn append(bytes: &[u8], extra: &[u8]) -> Vec<u8> {
+    let mut b = bytes.to_vec();
+    b.extend_from_slice(extra);
+    b
+}
+
+// ---- the battery -----------------------------------------------------------
+
+type Case = (&'static str, Vec<u8>, fn(&GraphError) -> bool);
+
+fn cases() -> Vec<Case> {
+    let v2 = pristine_v2();
+    let v1 = pristine_v1();
+    let v2_len = v2.len();
+    let mid_edge = V2_HEADER + (v2_len - V2_HEADER) / 16 * 8;
+    let mut cases: Vec<Case> = vec![
+        // Truncation at (and inside) every v2 section boundary.
+        ("empty-file", Vec::new(), bad_header),
+        ("one-byte", v2[..1].to_vec(), bad_header),
+        ("mid-magic", v2[..3].to_vec(), bad_header),
+        ("magic-only", v2[..4].to_vec(), bad_header),
+        ("mid-version", v2[..7].to_vec(), bad_header),
+        ("magic-and-version", v2[..8].to_vec(), bad_header),
+        ("mid-num-vertices", v2[..11].to_vec(), bad_header),
+        ("through-counts", v2[..20].to_vec(), bad_header),
+        ("mid-header-checksum", v2[..27].to_vec(), bad_header),
+        ("through-header-checksum", v2[..28].to_vec(), bad_header),
+        ("mid-payload-checksum", v2[..35].to_vec(), bad_header),
+        ("header-only", v2[..V2_HEADER].to_vec(), bad_header),
+        ("mid-first-edge", v2[..V2_HEADER + 5].to_vec(), bad_header),
+        ("mid-payload-edge", v2[..mid_edge + 3].to_vec(), bad_header),
+        ("one-byte-short", v2[..v2_len - 1].to_vec(), bad_header),
+        // Magic and version damage (checked before any checksum).
+        ("magic-bit-flip", flip(&v2, 0, 0x01), bad_header),
+        ("magic-zeroed", zero_range(&v2, 0..4), bad_header),
+        ("version-zero", set_u32(&v2, 4, 0), bad_header),
+        ("version-three", set_u32(&v2, 4, 3), bad_header),
+        ("version-high-bit", flip(&v2, 7, 0x80), bad_header),
+        // Count-field flips: the header checksum rejects them before the
+        // forged value reaches length arithmetic or an allocation.
+        ("num-vertices-low-bit", flip(&v2, 8, 0x01), header_mismatch),
+        ("num-vertices-high-byte", flip(&v2, 11, 0xFF), header_mismatch),
+        ("num-edges-low-bit", flip(&v2, 12, 0x01), header_mismatch),
+        ("num-edges-high-byte", flip(&v2, 19, 0xFF), header_mismatch),
+        ("num-edges-zeroed", zero_range(&v2, 12..20), header_mismatch),
+        // Damage to the checksum fields themselves.
+        ("header-checksum-bit-flip", flip(&v2, 20, 0x04), header_mismatch),
+        ("header-checksum-zeroed", zero_range(&v2, 20..28), header_mismatch),
+        ("payload-checksum-bit-flip", flip(&v2, 28, 0x01), payload_mismatch),
+        ("payload-checksum-zeroed", zero_range(&v2, 28..36), payload_mismatch),
+        // Payload damage: caught by the running payload checksum (or by
+        // the vertex range check, when the flipped word escapes the id
+        // space — either way typed, never silent).
+        ("payload-first-byte", flip(&v2, V2_HEADER, 0x01), payload_mismatch_or_oor),
+        ("payload-mid-byte", flip(&v2, mid_edge + 1, 0x10), payload_mismatch_or_oor),
+        ("payload-last-byte", flip(&v2, v2_len - 1, 0x40), payload_mismatch_or_oor),
+        (
+            "payload-first-edge-zeroed",
+            {
+                // Vertex 0 exists, so (0, 0) stays in range: only the checksum
+                // can tell this file has been rewritten.
+                zero_range(&v2, V2_HEADER..V2_HEADER + 8)
+            },
+            payload_mismatch,
+        ),
+        (
+            "payload-edges-swapped",
+            {
+                let mut b = v2.clone();
+                let (first, last) = (V2_HEADER, v2_len - 8);
+                for i in 0..8 {
+                    b.swap(first + i, last + i);
+                }
+                assert_ne!(b, v2, "fixture must have distinct first/last edges");
+                b
+            },
+            payload_mismatch,
+        ),
+        // Forged counts with a re-fitted header checksum: the attacker who
+        // recomputes the checksum still cannot make the length lie...
+        (
+            "forged-num-edges-refit-checksum",
+            {
+                let ne = u64::from_le_bytes(v2[12..20].try_into().unwrap());
+                refit_header_checksum(&set_u64(&v2, 12, ne + 1))
+            },
+            bad_header,
+        ),
+        // ...and padding the payload to match the forged length then
+        // breaks the payload checksum (it hashes the padded bytes).
+        (
+            "forged-num-edges-refit-and-padded",
+            {
+                let ne = u64::from_le_bytes(v2[12..20].try_into().unwrap());
+                append(&refit_header_checksum(&set_u64(&v2, 12, ne + 1)), &[0u8; 8])
+            },
+            payload_mismatch,
+        ),
+        (
+            "forged-huge-num-edges-refit",
+            { refit_header_checksum(&set_u64(&v2, 12, 1 << 61)) },
+            bad_header,
+        ),
+        // Length lies without touching the header.
+        ("trailing-garbage", append(&v2, &[0xAB; 4]), bad_header),
+        ("extra-edge-appended", append(&v2, &[0u8; 8]), bad_header),
+        ("doubled-payload", append(&v2, &v2[V2_HEADER..]), bad_header),
+        // v1 files carry no checksums: every *detectable* corruption —
+        // truncation, length mismatch, version/magic damage, out-of-range
+        // ids — must still be typed.
+        ("v1-mid-header", v1[..10].to_vec(), bad_header),
+        ("v1-header-only", v1[..V1_HEADER].to_vec(), bad_header),
+        ("v1-mid-first-edge", v1[..V1_HEADER + 4].to_vec(), bad_header),
+        ("v1-one-byte-short", v1[..v1.len() - 1].to_vec(), bad_header),
+        ("v1-bad-magic", flip(&v1, 1, 0xFF), bad_header),
+        ("v1-version-seven", set_u32(&v1, 4, 7), bad_header),
+        ("v1-trailing-garbage", append(&v1, &[1, 2, 3]), bad_header),
+        (
+            "v1-num-edges-minus-one",
+            {
+                let ne = u64::from_le_bytes(v1[12..20].try_into().unwrap());
+                set_u64(&v1, 12, ne - 1)
+            },
+            bad_header,
+        ),
+        (
+            "v1-num-edges-plus-one",
+            {
+                let ne = u64::from_le_bytes(v1[12..20].try_into().unwrap());
+                set_u64(&v1, 12, ne + 1)
+            },
+            bad_header,
+        ),
+        ("v1-forged-huge-num-edges", set_u64(&v1, 12, u64::MAX / 2), bad_header),
+        ("v1-num-vertices-shrunk", set_u32(&v1, 8, 1), out_of_range),
+        ("v1-payload-vertex-out-of-range", { set_u32(&v1, V1_HEADER + 4, u32::MAX) }, out_of_range),
+    ];
+    // The v2 twins of the v1 payload corruptions: the checksum catches
+    // them even when the damaged words stay inside the vertex-id space.
+    cases.push((
+        "num-vertices-shrunk-refit",
+        { refit_header_checksum(&set_u32(&v2, 8, 1)) },
+        out_of_range,
+    ));
+    cases.push((
+        "payload-vertex-out-of-range",
+        { set_u32(&v2, V2_HEADER + 4, u32::MAX) },
+        payload_mismatch_or_oor,
+    ));
+    cases
+}
+
+#[test]
+fn every_corruption_yields_a_typed_error_under_both_backends() {
+    let cases = cases();
+    assert!(cases.len() >= 40, "battery shrank to {} cases", cases.len());
+    let mut names = std::collections::HashSet::new();
+    for (name, bytes, check) in &cases {
+        assert!(names.insert(*name), "duplicate case name {name:?}");
+        for mode in [IoMode::Buffered, IoMode::Mmap] {
+            let err = drive(bytes, name, mode);
+            assert!(
+                check(&err),
+                "case {name:?} ({mode:?}): unexpected error shape: {err:?} ({err})"
+            );
+        }
+    }
+}
+
+/// Files that shrink *after* `open` validated their length: below the
+/// header the pass refuses up front; mid-payload the edge iterator reports
+/// the exact truncation. (Buffered backend: an mmap of the old length
+/// cannot observe a later shrink without a fault, which is why `pass()`
+/// re-checks the on-disk length each time.)
+#[test]
+fn shrink_after_open_is_typed_not_a_panic() {
+    let bytes = pristine_v2();
+    for (name, keep, want_bad_header) in
+        [("below-header", V2_HEADER - 6, true), ("mid-payload", V2_HEADER + 8 * 3 + 3, false)]
+    {
+        let path = temp_path(name);
+        let _guard = TempFileGuard(path.clone());
+        std::fs::write(&path, &bytes).unwrap();
+        let file = BinaryEdgeFile::open(&path).unwrap().with_io_mode(IoMode::Buffered);
+        std::fs::OpenOptions::new().write(true).open(&path).unwrap().set_len(keep as u64).unwrap();
+        let mut sink = CollectedAssignment::default();
+        let err = Hep::with_tau(10.0)
+            .partition_file_with_report(&file, 4, &mut sink)
+            .expect_err("shrunk file must not partition");
+        if want_bad_header {
+            assert!(bad_header(&err), "{name}: {err:?}");
+        } else {
+            assert!(matches!(err, GraphError::TruncatedBinary { .. }), "{name}: {err:?}");
+        }
+    }
+}
+
+/// The flip side of the battery: pristine files of both versions sail
+/// through the same driver, and the two formats agree bit-for-bit.
+#[test]
+fn pristine_files_of_both_versions_still_partition_identically() {
+    let run = |bytes: &[u8], name: &str| {
+        let path = temp_path(name);
+        let _guard = TempFileGuard(path.clone());
+        std::fs::write(&path, bytes).unwrap();
+        let file = BinaryEdgeFile::open(&path).unwrap();
+        let mut sink = CollectedAssignment::default();
+        Hep::with_tau(10.0).partition_file_with_report(&file, 4, &mut sink).unwrap();
+        sink.assignments
+    };
+    assert_eq!(run(&pristine_v2(), "ok_v2"), run(&pristine_v1(), "ok_v1"));
+}

@@ -191,6 +191,65 @@ proptest! {
     }
 
     #[test]
+    fn mmap_and_buffered_file_pipelines_are_bit_identical(seed in 0u64..1000) {
+        // The PassSource contract: the mmap and buffered backends feed the
+        // degree pass, the budgeted CSR sweeps, and phase-2 streaming the
+        // exact same byte stream, so the full file pipeline is bit-identical
+        // across backends at every (threads × split) configuration.
+        use hep::graph::{BinaryEdgeFile, IoMode};
+        let g = hep::gen::GraphSpec::ChungLu { n: 1_200, m: 10_000, gamma: 2.2 }.generate(seed);
+        let mut path = std::env::temp_dir();
+        path.push(format!("hep_io_determinism_{}_{}.hepb", std::process::id(), seed));
+        let file = BinaryEdgeFile::write(&path, &g).unwrap();
+        for threads in [1usize, 8] {
+            for split in [1u32, 4] {
+                let run = |mode: IoMode| {
+                    hep::par::with_threads(threads, || {
+                        let mut config = hep::core::HepConfig::with_tau(10.0);
+                        config.split_factor = split;
+                        config.io_mode = mode;
+                        let hep = hep::core::Hep { config };
+                        let mut sink = hep::graph::partitioner::CollectedAssignment::default();
+                        let report = hep.partition_file_with_report(&file, 8, &mut sink).unwrap();
+                        (sink.assignments, report.partition_sizes)
+                    })
+                };
+                let (buffered, mmap) = (run(IoMode::Buffered), run(IoMode::Mmap));
+                prop_assert_eq!(
+                    buffered, mmap,
+                    "io backends diverged at threads={}, split={}", threads, split
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_and_v2_files_round_trip_to_identical_partitions(seed in 0u64..1000) {
+        // Format compatibility: a graph written as checksum-free HEPB v1
+        // and as checksummed v2 must load to the same edge sequence and
+        // drive the pipeline to the same assignment.
+        use hep::graph::BinaryEdgeFile;
+        let g = hep::gen::GraphSpec::ChungLu { n: 800, m: 6_000, gamma: 2.2 }.generate(seed);
+        let dir = std::env::temp_dir();
+        let p1 = dir.join(format!("hep_v1_roundtrip_{}_{}.hepb", std::process::id(), seed));
+        let p2 = dir.join(format!("hep_v2_roundtrip_{}_{}.hepb", std::process::id(), seed));
+        let f1 = BinaryEdgeFile::write_v1(&p1, &g).unwrap();
+        let f2 = BinaryEdgeFile::write(&p2, &g).unwrap();
+        prop_assert_eq!(f1.format_version(), 1u32);
+        prop_assert_eq!(f2.format_version(), 2u32);
+        let run = |file: &BinaryEdgeFile| {
+            let mut sink = hep::graph::partitioner::CollectedAssignment::default();
+            hep::core::Hep::with_tau(10.0).partition_file_with_report(file, 8, &mut sink).unwrap();
+            sink.assignments
+        };
+        prop_assert_eq!(f1.load().unwrap().edges, f2.load().unwrap().edges);
+        prop_assert_eq!(run(&f1), run(&f2), "v1 and v2 partitions diverged");
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
     fn refinement_preserves_caps_and_never_increases_rf(
         seed in 0u64..1000,
         split in 2u32..5,
