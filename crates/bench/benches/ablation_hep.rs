@@ -4,6 +4,7 @@
 //!    state with NE++'s secondary sets matter?
 //! 2. **λ sweep**: sensitivity of the streaming phase's balance weight.
 
+use hep_bench::report::Report;
 use hep_bench::{banner, load_dataset, run_partitioner};
 use hep_core::{Hep, HepConfig};
 use hep_metrics::Table;
@@ -13,6 +14,7 @@ fn main() {
         "Ablation: HEP design choices",
         "tau = 1 (streaming phase dominant), k = 32, OK/TW/UK analogs.",
     );
+    let mut report = Report::new("ablation_hep");
     // 1. Informed vs uninformed streaming.
     let mut t = Table::new(["graph", "RF informed", "RF uninformed", "penalty"]);
     for &name in hep_bench::smoke_subset(&["OK", "TW", "UK"]) {
@@ -32,6 +34,7 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    report.table("informed_vs_uninformed", &t);
 
     // 2. Lambda sweep on OK.
     let g = load_dataset("OK");
@@ -47,4 +50,6 @@ fn main() {
     }
     println!("lambda sweep (OK, tau = 1):\n{}", t.render());
     println!("(higher lambda trades replication for tighter balance)");
+    report.table("lambda_sweep_ok", &t);
+    report.write();
 }

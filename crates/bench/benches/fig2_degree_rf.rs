@@ -40,13 +40,18 @@ fn main() {
         "Figure 2: degree vs replication factor (k = 32)",
         "Replication factor per degree bucket under HDRF (streaming) and NE (in-memory).",
     );
+    let mut report = hep_bench::report::Report::new("fig2_degree_rf");
     for &name in hep_bench::smoke_subset(&["LJ", "WI"]) {
         let g = load_dataset(name);
         println!("--- {name} graph ---");
-        println!("{}", bucket_table(&g, 32).render());
+        let t = bucket_table(&g, 32);
+        println!("{}", t.render());
+        report.table(&format!("degree_rf_{name}"), &t);
         // Context line mirroring the paper's headline observation.
         let mut ne = hep_baselines::Ne::default();
         let out = run_partitioner(&mut ne, &g, 32, false).expect("NE runs");
         println!("overall NE RF: {:.2}\n", out.rf);
+        report.set(&format!("ne_rf_{name}"), out.rf);
     }
+    report.write();
 }

@@ -33,4 +33,7 @@ fn main() {
     }
     println!("{}", t.render());
     println!("(paper: S\\C is an order of magnitude above C on most graphs)");
+    let mut report = hep_bench::report::Report::new("fig5_core_secondary");
+    report.table("avg_degree_core_vs_secondary", &t);
+    report.write();
 }

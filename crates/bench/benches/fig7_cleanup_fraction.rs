@@ -29,4 +29,7 @@ fn main() {
     }
     println!("{}", t.render());
     println!("(paper: < 0.5 everywhere, particularly low on web graphs)");
+    let mut report = hep_bench::report::Report::new("fig7_cleanup_fraction");
+    report.table("cleanup_fraction", &t);
+    report.write();
 }

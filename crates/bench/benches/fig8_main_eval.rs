@@ -42,6 +42,7 @@ fn main() {
         "Figure 8: replication factor / run-time / peak memory",
         "k in {4, 32, 128, 256}; roster per graph follows the paper's panels.",
     );
+    let mut report = hep_bench::report::Report::new("fig8_main_eval");
     for &name in smoke_subset(&["OK", "IT", "TW", "FR", "UK", "GSH", "WDC"]) {
         let g = load_dataset(name);
         println!("--- {name}: |V|={}, |E|={} ---", g.num_vertices, g.num_edges());
@@ -59,8 +60,10 @@ fn main() {
                 ]);
             }
             println!("k = {k}\n{}", t.render());
+            report.table(&format!("{name}_k{k}"), &t);
         }
     }
     println!("(paper: HEP-100/10 track NE's RF at a fraction of the memory; HEP-1");
     println!(" approaches streaming memory while beating streaming RF)");
+    report.write();
 }

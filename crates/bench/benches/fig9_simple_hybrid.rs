@@ -15,6 +15,7 @@ fn main() {
         "Figure 9: simple hybrid (NE + random streaming), normalized to HEP",
         "Values > 1 mean the simple hybrid is worse (higher RF / slower / more memory).",
     );
+    let mut report = hep_bench::report::Report::new("fig9_simple_hybrid");
     for &name in smoke_subset(&["OK", "IT", "TW", "FR", "UK"]) {
         let g = load_dataset(name);
         println!("--- {name} ---");
@@ -30,6 +31,7 @@ fn main() {
             ]);
         }
         println!("{}", ratios.render());
+        report.table(&format!("edge_type_ratios_{name}"), &ratios);
         // Normalized quality/run-time/memory (panels a-c, e-g, ...).
         let mut t = Table::new(["tau", "k", "norm. RF", "norm. time", "norm. peak mem"]);
         for tau in [100.0, 10.0, 1.0] {
@@ -52,7 +54,9 @@ fn main() {
             }
         }
         println!("{}", t.render());
+        report.table(&format!("normalized_to_hep_{name}"), &t);
     }
     println!("(paper: normalized RF up to ~12x at tau=1; NE++ up to ~20x faster than NE;");
     println!(" NE++ 2-3x lower memory than NE on the same edge set)");
+    report.write();
 }

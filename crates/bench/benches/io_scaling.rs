@@ -8,11 +8,11 @@
 //! planner decisions, for trajectory tooling.
 
 use hep_bench::banner;
+use hep_bench::report::{Json, Report};
 use hep_core::{plan_ingest, Hep, HepConfig};
 use hep_graph::partitioner::CountingSink;
 use hep_graph::{BinaryEdgeFile, IoMode};
 use hep_metrics::table::{format_bytes, format_secs, Table};
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Best-of-`reps` wall-clock of `f`, with the result kept live.
@@ -24,14 +24,6 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
         best = best.min(start.elapsed().as_secs_f64());
     }
     best
-}
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.6}")
-    } else {
-        "null".into()
-    }
 }
 
 fn main() {
@@ -106,53 +98,60 @@ fn main() {
     println!("{}", t.render());
     std::fs::remove_file(&path).ok();
 
-    // Hand-rolled JSON (the workspace has no serde): one flat record.
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"bench\": \"io_scaling\",");
-    let _ = writeln!(json, "  \"test_mode\": {test},");
-    let _ = writeln!(json, "  \"vertices\": {n},");
-    let _ = writeln!(json, "  \"edges\": {m},");
-    let _ = writeln!(json, "  \"tau\": {tau},");
-    let _ = writeln!(json, "  \"reps\": {reps},");
-    for (key, rows) in [("pass_secs", &pass_secs)] {
-        let _ = writeln!(json, "  \"{key}\": {{");
-        for (i, (mode, backend, secs)) in rows.iter().enumerate() {
-            let comma = if i + 1 < rows.len() { "," } else { "" };
-            let _ = writeln!(
-                json,
-                "    \"{mode:?}\": {{\"ran\": \"{backend:?}\", \"secs\": {}}}{comma}",
-                json_f64(*secs)
-            );
-        }
-        let _ = writeln!(json, "  }},");
-    }
-    let _ = writeln!(json, "  \"pipeline_secs\": {{");
-    for (i, (mode, secs)) in pipeline_secs.iter().enumerate() {
-        let comma = if i + 1 < pipeline_secs.len() { "," } else { "" };
-        let _ = writeln!(json, "    \"{mode:?}\": {}{comma}", json_f64(*secs));
-    }
-    let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"budget_vs_tau\": [");
-    for (i, (budget, plan)) in budget_rows.iter().enumerate() {
-        let comma = if i + 1 < budget_rows.len() { "," } else { "" };
-        let b = budget.map_or("null".into(), |b| b.to_string());
-        match plan {
-            Some(p) => {
-                let _ = writeln!(
-                    json,
-                    "    {{\"budget_bytes\": {b}, \"tau\": {}, \"column_passes\": {}, \
-                     \"estimated_peak_bytes\": {}, \"resident_bytes\": {}}}{comma}",
-                    p.tau, p.column_passes, p.estimated_peak_bytes, p.resident_bytes
-                );
-            }
-            None => {
-                let _ =
-                    writeln!(json, "    {{\"budget_bytes\": {b}, \"infeasible\": true}}{comma}");
-            }
-        }
-    }
-    let _ = writeln!(json, "  ]");
-    json.push_str("}\n");
-    std::fs::write("BENCH_io.json", &json).unwrap();
-    println!("wrote BENCH_io.json");
+    // PR 6 emitted this record with an inline hand-rolled emitter; the
+    // shared report module generalizes it, keeping the `BENCH_io.json`
+    // name (and key set) that trajectory tooling already reads.
+    let mut report = Report::new("io");
+    report.set("vertices", n);
+    report.set("edges", m);
+    report.set("tau", tau);
+    report.set("reps", reps);
+    report.set(
+        "pass_secs",
+        Json::Object(
+            pass_secs
+                .iter()
+                .map(|(mode, backend, secs)| {
+                    (
+                        format!("{mode:?}"),
+                        Json::object([
+                            ("ran", format!("{backend:?}").into()),
+                            ("secs", (*secs).into()),
+                        ]),
+                    )
+                })
+                .collect(),
+        ),
+    );
+    report.set(
+        "pipeline_secs",
+        Json::Object(
+            pipeline_secs
+                .iter()
+                .map(|(mode, secs)| (format!("{mode:?}"), (*secs).into()))
+                .collect(),
+        ),
+    );
+    report.set(
+        "budget_vs_tau",
+        Json::Array(
+            budget_rows
+                .iter()
+                .map(|(budget, plan)| match plan {
+                    Some(p) => Json::object([
+                        ("budget_bytes", (*budget).into()),
+                        ("tau", p.tau.into()),
+                        ("column_passes", p.column_passes.into()),
+                        ("estimated_peak_bytes", p.estimated_peak_bytes.into()),
+                        ("resident_bytes", p.resident_bytes.into()),
+                    ]),
+                    None => Json::object([
+                        ("budget_bytes", (*budget).into()),
+                        ("infeasible", true.into()),
+                    ]),
+                })
+                .collect(),
+        ),
+    );
+    report.write();
 }

@@ -2,7 +2,7 @@
 //! power-law graph (edges/second at k = 32). Complements Figure 8's
 //! wall-clock columns with statistically robust numbers.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 use hep_graph::partitioner::CountingSink;
 use hep_graph::{EdgeList, EdgePartitioner};
 use std::time::Duration;
@@ -57,4 +57,10 @@ criterion_group! {
     config = configured();
     targets = bench_partitioners, bench_csr_build
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let mut report = hep_bench::report::Report::new("micro_partitioners");
+    report.measurements(&criterion::take_measurements());
+    report.write();
+}

@@ -12,7 +12,7 @@
 //! may differ. A `split_factor` sweep at a fixed worker count isolates the
 //! replication/parallelism trade-off of the SNE-style splitting.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use hep_core::{Hep, HepConfig};
 use hep_graph::partitioner::{CollectedAssignment, CountingSink};
 use hep_graph::{DegreeStats, EdgePartitioner, PrunedCsr};
@@ -261,4 +261,10 @@ criterion_group! {
         bench_parallel_graph_build, bench_parallel_nepp, bench_refine,
         bench_refine_kernel
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let mut report = hep_bench::report::Report::new("micro_scaling");
+    report.measurements(&criterion::take_measurements());
+    report.write();
+}

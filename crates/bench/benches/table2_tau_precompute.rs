@@ -4,6 +4,7 @@
 //! which must be negligible next to partitioning run-time — that is the
 //! claim the table supports.
 
+use hep_bench::report::{Json, Report};
 use hep_bench::{banner, load_dataset, run_partitioner};
 use hep_metrics::table::{format_secs, Table};
 use std::time::Instant;
@@ -15,6 +16,7 @@ fn main() {
     );
     let grid = [100.0, 30.0, 10.0, 3.0, 1.0, 0.3];
     let mut t = Table::new(["graph", "precompute", "partitioning", "chosen tau (huge budget)"]);
+    let mut rows = Vec::new();
     for &name in hep_bench::smoke_subset(&["OK", "IT", "TW", "FR", "UK", "GSH", "WDC"]) {
         let g = load_dataset(name);
         let start = Instant::now();
@@ -30,7 +32,17 @@ fn main() {
             format_secs(run.seconds),
             format!("{}", plan.tau),
         ]);
+        rows.push(Json::object([
+            ("graph", name.into()),
+            ("precompute_secs", pre.into()),
+            ("partitioning_secs", run.seconds.into()),
+            ("chosen_tau", plan.tau.into()),
+        ]));
     }
     println!("{}", t.render());
     println!("(paper: 1 s (OK) .. 868 s (WDC), always well below partitioning time)");
+    let mut report = Report::new("table2_tau_precompute");
+    report.table("tau_precompute", &t);
+    report.set("rows", Json::Array(rows));
+    report.write();
 }

@@ -45,4 +45,7 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    let mut report = hep_bench::report::Report::new("table3_datasets");
+    report.table("datasets", &t);
+    report.write();
 }

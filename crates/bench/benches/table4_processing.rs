@@ -38,6 +38,7 @@ fn main() {
     let cost = ClusterCost::default();
     // Smoke mode trims the workloads along with the dataset list.
     let (pr_iters, num_seeds) = if hep_bench::test_mode() { (5, 2) } else { (100, 10) };
+    let mut report = hep_bench::report::Report::new("table4_processing");
     for &name in hep_bench::smoke_subset(&["OK", "IT", "TW"]) {
         let g = load_dataset(name);
         println!("--- {name} ---");
@@ -66,6 +67,8 @@ fn main() {
         }
         println!("{}", t4.render());
         println!("Table 5 (vertex balancing):\n{}", t5.render());
+        report.table(&format!("processing_{name}"), &t4);
+        report.table(&format!("vertex_balance_{name}"), &t5);
         // Phase-level timing of the HEP pipeline, serial vs sub-partitioned
         // parallel NE++. The split factor follows HEP_SPLIT_FACTOR: unset
         // defaults to 4 so the breakdown shows both paths; an explicit 1
@@ -99,6 +102,7 @@ fn main() {
             }
         }
         println!("HEP phase timings (split = 1 is the serial §3.2 path):\n{}", tp.render());
+        report.table(&format!("phase_timings_{name}"), &tp);
         // Per-pass replication-factor deltas of the split path's
         // boundary-aware FM refinement: Σ|V(p_i)| of the packed parts
         // after each pass (pass 0 = the unrefined pack output), plus the
@@ -145,8 +149,10 @@ fn main() {
                 "FM refinement, split = {refine_split} (pass 0 = unrefined pack):\n{}",
                 tr.render()
             );
+            report.table(&format!("fm_refinement_{name}"), &tr);
         }
     }
     println!("(paper: lowest total time usually HEP; DBH wins when processing is short;");
     println!(" on IT, balancing matters more than RF once RF saturates near 1)");
+    report.write();
 }

@@ -47,6 +47,8 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    let mut report = hep_bench::report::Report::new("table6_paging");
+    report.table("paging", &t);
     // The hybrid alternative at the same budget.
     let hep1 = hep_core::Hep::with_tau(1.0);
     let mut sink1 = CountingSink::default();
@@ -58,6 +60,10 @@ fn main() {
         format_bytes(report1.footprint_paper_bytes),
         format_secs(t1),
     );
+    report.set("hep1_footprint_bytes", report1.footprint_paper_bytes);
+    report.set("hep1_secs", t1);
+    report.set("nepp_cpu_secs", cpu_seconds);
+    report.write();
     println!("(paper: 42 s / 61 K faults at 1000 MB -> 1736 s / 5.79 M faults at 400 MB,");
     println!(" while HEP-1 runs in 45 s within 417 MB without any hard fault)");
 }

@@ -2,6 +2,8 @@
 //! timed partitioner runs with metrics/validity/peak-memory capture, and the
 //! counting allocator installed for every bench binary that links this crate.
 
+pub mod report;
+
 use hep_graph::partitioner::{CollectedAssignment, TeeSink};
 use hep_graph::{EdgeList, EdgePartitioner, GraphError};
 use hep_metrics::{alloc_track, PartitionMetrics};

@@ -15,11 +15,36 @@
 //! There is no statistical analysis, plotting, or baseline comparison; swap
 //! the workspace dependency back to the registry version to get those.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier preventing the optimizer from deleting benched work.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// One recorded benchmark result, kept so harness `main`s can emit a
+/// machine-readable report after the groups have run (the upstream crate
+/// writes `target/criterion/**/estimates.json`; this stand-in exposes the
+/// numbers in-process instead).
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Mean seconds per iteration (0.0 in `--test` smoke mode).
+    pub mean_secs: f64,
+    /// Timed iterations behind the mean (1 in smoke mode).
+    pub iters: u64,
+    /// Whether this was a smoke run (`--test`), not a measurement.
+    pub smoke: bool,
+}
+
+/// Every measurement reported by [`Bencher`] runs in this process.
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drains the measurements recorded so far, in execution order.
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut *MEASUREMENTS.lock().unwrap_or_else(|e| e.into_inner()))
 }
 
 fn cli_test_mode() -> bool {
@@ -299,10 +324,17 @@ impl Bencher {
     }
 
     fn report(&self, id: &str) {
+        let mean =
+            if self.test_mode { 0.0 } else { self.elapsed.as_secs_f64() / self.iters as f64 };
+        MEASUREMENTS.lock().unwrap_or_else(|e| e.into_inner()).push(Measurement {
+            id: id.to_string(),
+            mean_secs: mean,
+            iters: self.iters,
+            smoke: self.test_mode,
+        });
         if self.test_mode {
             println!("test {id} ... ok (smoke)");
         } else {
-            let mean = self.elapsed.as_secs_f64() / self.iters as f64;
             println!("{id:<50} time: {} ({} iters)", format_duration(mean), self.iters);
         }
     }

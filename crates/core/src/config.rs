@@ -56,6 +56,40 @@ pub struct HepConfig {
     /// Backends are bit-identical in output; this only trades syscalls
     /// for page faults.
     pub io_mode: IoMode,
+    /// Column-array segment layout of the pruned CSR (see
+    /// [`CsrLayout`]). Layouts are bit-identical in partition output —
+    /// only the cache behavior of phase 1's adjacency walks differs.
+    /// Defaults to the `HEP_CSR_LAYOUT` environment variable when set.
+    pub csr_layout: CsrLayout,
+}
+
+/// Placement of the per-vertex adjacency segments in the pruned CSR's
+/// column array. Both layouts expose identical per-vertex lists, so the
+/// partition output is bit-identical; the choice only changes the cache
+/// locality of phase 1's walks (`HEP_CSR_LAYOUT=input|degree`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CsrLayout {
+    /// The builders' native layout: segments in vertex-id order.
+    #[default]
+    InputOrder,
+    /// Cache-conscious relayout after build: segments in descending
+    /// degree order ([`hep_graph::PrunedCsr::relayout_degree_sorted`]),
+    /// packing the hub lists NE++ hammers hardest into adjacent blocks.
+    DegreeSorted,
+}
+
+/// `HEP_CSR_LAYOUT` environment default, resolved once per process.
+fn env_csr_layout() -> CsrLayout {
+    use std::sync::OnceLock;
+    static LAYOUT: OnceLock<CsrLayout> = OnceLock::new();
+    *LAYOUT.get_or_init(|| match std::env::var("HEP_CSR_LAYOUT").as_deref() {
+        Ok("degree") => CsrLayout::DegreeSorted,
+        Ok("input") | Err(_) => CsrLayout::InputOrder,
+        Ok(other) => {
+            eprintln!("unknown HEP_CSR_LAYOUT={other:?} (want input|degree); using input order");
+            CsrLayout::InputOrder
+        }
+    })
 }
 
 /// Default [`HepConfig::refine_passes`] when `HEP_REFINE_PASSES` is unset:
@@ -128,6 +162,7 @@ impl Default for HepConfig {
             refine_passes: env_refine_passes(),
             memory_budget_bytes: env_memory_budget(),
             io_mode: IoMode::from_env(),
+            csr_layout: env_csr_layout(),
         }
     }
 }
@@ -251,6 +286,14 @@ mod tests {
             "the serial path never refines"
         );
         assert!(!HepConfig { record_trace: true, ..base }.uses_refinement());
+    }
+
+    #[test]
+    fn csr_layout_defaults_to_input_order() {
+        // The suite never sets HEP_CSR_LAYOUT, so the resolved default is
+        // the builders' native layout.
+        assert_eq!(HepConfig::default().csr_layout, CsrLayout::InputOrder);
+        assert_eq!(CsrLayout::default(), CsrLayout::InputOrder);
     }
 
     #[test]

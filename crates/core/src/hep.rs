@@ -218,13 +218,18 @@ impl Hep {
     /// informed streaming of the externalized h2h edges.
     fn finish_phases(
         &self,
-        csr: PrunedCsr,
+        mut csr: PrunedCsr,
         k: u32,
         guard: TempFileGuard,
         build_secs: f64,
         ingest: Option<IngestPlan>,
         sink: &mut dyn AssignSink,
     ) -> Result<HepRunReport, GraphError> {
+        // Optional cache-conscious segment relayout before phase 1 walks
+        // the adjacency lists; bit-identical partition output either way.
+        if self.config.csr_layout == crate::config::CsrLayout::DegreeSorted {
+            csr.relayout_degree_sorted();
+        }
         let h2h_path = guard.0.clone();
         let num_vertices = csr.num_vertices();
         let total_edges = csr.num_edges_total();

@@ -27,7 +27,7 @@ pub mod refine;
 pub mod simple_hybrid;
 pub mod streaming;
 
-pub use config::{parse_byte_size, HepConfig, DEFAULT_REFINE_PASSES};
+pub use config::{parse_byte_size, CsrLayout, HepConfig, DEFAULT_REFINE_PASSES};
 pub use hep::{ingest_file_budgeted, Hep, HepRunReport, PhaseTimings};
 pub use nepp::{NeppResult, NeppStats};
 pub use nepp_par::run_nepp_par;

@@ -259,6 +259,39 @@ impl SparseCounts {
         }
     }
 
+    /// The propose phase's bundle sweep, batched into one flat pass over
+    /// the endpoint rows: for every part `q` covering an endpoint,
+    /// `hits[q] += 1`, and the return value counts endpoints whose
+    /// `a`-count is exactly 1 (they leave `V(p_a)` with the bundle).
+    ///
+    /// Cache-blocked: row bounds are gathered from `start`/`len` for a
+    /// block of endpoints first, then the block's entries are swept from
+    /// the flat `parts`/`counts` arrays — the old per-endpoint
+    /// `get(u, a)` binary search disappears into the same row scan
+    /// (every bundle endpoint has an incident `a`-edge, so its row always
+    /// holds an `a` entry). Results are integer-identical to the
+    /// per-endpoint formulation.
+    fn bundle_sweep(&self, endpoints: &[VertexId], a: u32, hits: &mut [u32]) -> i64 {
+        const BLOCK: usize = 32;
+        let mut bounds = [(0usize, 0usize); BLOCK];
+        let mut leaves = 0i64;
+        for block in endpoints.chunks(BLOCK) {
+            for (slot, &u) in bounds.iter_mut().zip(block) {
+                *slot = self.row_bounds(u);
+            }
+            for &(lo, hi) in &bounds[..block.len()] {
+                for i in lo..hi {
+                    let q = self.parts[i];
+                    hits[q as usize] += 1;
+                    if q == a && self.counts[i] == 1 {
+                        leaves += 1;
+                    }
+                }
+            }
+        }
+        leaves
+    }
+
     /// `Σ_i |V(p_i)|` — the live entry count, summed chunk-parallel.
     fn cover_sum(&self, pool: &hep_par::Pool) -> u64 {
         let ranges = hep_par::chunk_ranges(self.len.len(), 1 << 16);
@@ -733,6 +766,7 @@ pub(crate) fn refine_packed_parts(
             let mut incident: Vec<(u32, VertexId, u32)> = Vec::new();
             let mut parts_of_v: Vec<u32> = Vec::new();
             let mut candidates: Vec<u32> = Vec::new();
+            let mut bundle_endpoints: Vec<VertexId> = Vec::new();
             // Per-candidate covered-endpoint tally, reset via `candidates`
             // after every (v, a) pair (k slots, O(1) lookups).
             let mut hits: Vec<u32> = vec![0u32; k as usize];
@@ -768,28 +802,20 @@ pub(crate) fn refine_packed_parts(
                 }
                 candidates.sort_unstable();
                 for &a in &parts_of_v {
-                    // One sweep over the bundle computes, simultaneously:
-                    // its length, the vertices leaving V(p_a) (v itself,
-                    // plus endpoints whose only a-edge is in the bundle),
-                    // and — via the endpoints' sparse rows — how many
-                    // bundle endpoints each candidate part already covers
-                    // (`hits`). That turns the per-candidate gain from a
-                    // rescan of the bundle into an O(1) lookup:
+                    // One flat sweep over the bundle's endpoint rows
+                    // ([`SparseCounts::bundle_sweep`]) computes,
+                    // simultaneously: the vertices leaving V(p_a) (v
+                    // itself, plus endpoints whose only a-edge is in the
+                    // bundle) and how many bundle endpoints each
+                    // candidate part already covers (`hits`). That turns
+                    // the per-candidate gain from a rescan of the bundle
+                    // into an O(1) lookup:
                     // `enters(b) = (v not in b) + bundle_len - hits[b]`.
-                    let mut bundle_len = 0u32;
-                    let mut leaves: i64 = 1;
-                    for &(_, u, p) in incident.iter() {
-                        if p != a {
-                            continue;
-                        }
-                        bundle_len += 1;
-                        if cnt_ref.get(u, a) == 1 {
-                            leaves += 1;
-                        }
-                        for &q in cnt_ref.parts_of(u) {
-                            hits[q as usize] += 1;
-                        }
-                    }
+                    bundle_endpoints.clear();
+                    bundle_endpoints
+                        .extend(incident.iter().filter(|&&(_, _, p)| p == a).map(|&(_, u, _)| u));
+                    let bundle_len = bundle_endpoints.len() as u32;
+                    let leaves: i64 = 1 + cnt_ref.bundle_sweep(&bundle_endpoints, a, &mut hits);
                     let mut best: Option<(i64, u32)> = None;
                     for &b in &candidates {
                         if b == a {

@@ -3,6 +3,14 @@
 //! Used for the core set `C` and the per-partition secondary sets `S_i`
 //! (paper §4.2, item 4): one bit per vertex id, so membership tests during
 //! the expansion inner loop are a single shift/mask on a cache-resident word.
+//!
+//! The bulk operations (`count_ones`, `intersection_count`, `union_with`,
+//! `difference_with`, `union_of`/`union_count`, `count_members`) delegate
+//! to [`crate::kernels`], which dispatches between the portable word-level
+//! path and explicit AVX2 intrinsics at runtime — bit-identical results
+//! either way (`HEP_KERNEL` overrides the choice).
+
+use crate::kernels;
 
 /// A dense bitset with a fixed capacity chosen at construction time.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -62,7 +70,7 @@ impl DenseBitset {
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::count_ones(&self.words)
     }
 
     /// Clears all bits, keeping the capacity.
@@ -86,15 +94,13 @@ impl DenseBitset {
 
     /// Number of set bits in `self & other` (replica-set intersections).
     pub fn intersection_count(&self, other: &DenseBitset) -> usize {
-        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a & b).count_ones() as usize).sum()
+        kernels::intersection_count(&self.words, &other.words)
     }
 
     /// In-place union with `other`. Capacities must match.
     pub fn union_with(&mut self, other: &DenseBitset) {
         assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a |= b;
-        }
+        kernels::union_with(&mut self.words, &other.words);
     }
 
     /// In-place difference: clears every bit of `self` that is set in
@@ -102,9 +108,14 @@ impl DenseBitset {
     /// must match.
     pub fn difference_with(&mut self, other: &DenseBitset) {
         assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a &= !b;
-        }
+        kernels::difference_with(&mut self.words, &other.words);
+    }
+
+    /// How many of `ids` are set in this bitset (out-of-range ids count as
+    /// clear). The hypergraph min-max tie-break's pins-vs-replica overlap
+    /// is this sparse membership count.
+    pub fn count_members(&self, ids: &[u32]) -> usize {
+        kernels::count_members(&self.words, ids)
     }
 
     /// Word-level union of a family of equal-capacity bitsets. `capacity`
@@ -127,20 +138,11 @@ impl DenseBitset {
     /// The replication-factor denominator (vertices covered by at least one
     /// partition) is exactly this count over the per-partition cover sets.
     pub fn union_count(sets: &[DenseBitset]) -> usize {
-        let Some(first) = sets.first() else {
-            return 0;
-        };
-        debug_assert!(sets.iter().all(|s| s.capacity == first.capacity));
-        let words = first.words.len();
-        let mut count = 0usize;
-        for w in 0..words {
-            let mut or = 0u64;
-            for s in sets {
-                or |= s.words[w];
-            }
-            count += or.count_ones() as usize;
+        if let Some(first) = sets.first() {
+            debug_assert!(sets.iter().all(|s| s.capacity == first.capacity));
         }
-        count
+        let word_slices: Vec<&[u64]> = sets.iter().map(|s| s.words.as_slice()).collect();
+        kernels::union_count(&word_slices)
     }
 
     /// The backing 64-bit words, least-significant bit = lowest index.
@@ -294,6 +296,18 @@ mod tests {
         let union = DenseBitset::union_of(sets.iter(), 200);
         assert_eq!(DenseBitset::union_count(&sets), union.count_ones());
         assert_eq!(DenseBitset::union_count(&[]), 0);
+    }
+
+    #[test]
+    fn count_members_matches_gets() {
+        let mut bs = DenseBitset::new(300);
+        for v in [0u32, 63, 64, 129, 299] {
+            bs.set(v);
+        }
+        let ids = [0u32, 1, 63, 64, 128, 129, 299, 300, 1_000_000, 63];
+        let expect = ids.iter().filter(|&&v| bs.get(v)).count();
+        assert_eq!(bs.count_members(&ids), expect);
+        assert_eq!(expect, 6);
     }
 
     #[test]

@@ -43,7 +43,9 @@ impl HyperReplicaState {
             if self.loads[p as usize] >= cap {
                 continue;
             }
-            let overlap = pins.iter().filter(|&&v| self.replicas[p as usize].get(v)).count() as i64;
+            // Sparse membership count via the dispatched (scalar/AVX2
+            // gather) kernel; exact count either way.
+            let overlap = self.replicas[p as usize].count_members(pins) as i64;
             let cand = (-overlap, self.loads[p as usize], p);
             if best.is_none_or(|b| cand < b) {
                 best = Some(cand);

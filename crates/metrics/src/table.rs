@@ -19,6 +19,16 @@ impl Table {
         self
     }
 
+    /// The column headers (for machine-readable dumps of rendered tables).
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The appended rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders the table with a separator under the header.
     pub fn render(&self) -> String {
         let cols = self.rows.iter().map(|r| r.len()).chain([self.headers.len()]).max().unwrap_or(0);

@@ -191,6 +191,31 @@ proptest! {
     }
 
     #[test]
+    fn csr_layouts_produce_identical_partitions(
+        seed in 0u64..1000,
+        split in prop_oneof![Just(1u32), Just(4)],
+        tau in prop_oneof![Just(1.0f64), Just(10.0)],
+    ) {
+        // The cache-conscious degree-sorted CSR layout is a pure segment
+        // permutation: every adjacency list reads back identically, so
+        // the full pipeline's assignment sequence must be bit-identical
+        // to the input-order layout on both the serial and split paths.
+        let g = hep::gen::GraphSpec::ChungLu { n: 1_500, m: 12_000, gamma: 2.2 }.generate(seed);
+        let run = |layout: hep::core::CsrLayout| {
+            let mut config = hep::core::HepConfig::with_tau(tau);
+            config.split_factor = split;
+            config.csr_layout = layout;
+            let hep = hep::core::Hep { config };
+            let mut sink = hep::graph::partitioner::CollectedAssignment::default();
+            let report = hep.partition_with_report(&g, 8, &mut sink).unwrap();
+            (sink.assignments, report.partition_sizes)
+        };
+        let input_order = run(hep::core::CsrLayout::InputOrder);
+        let degree_sorted = run(hep::core::CsrLayout::DegreeSorted);
+        prop_assert_eq!(input_order, degree_sorted, "layouts diverged at split={}", split);
+    }
+
+    #[test]
     fn mmap_and_buffered_file_pipelines_are_bit_identical(seed in 0u64..1000) {
         // The PassSource contract: the mmap and buffered backends feed the
         // degree pass, the budgeted CSR sweeps, and phase-2 streaming the
