@@ -68,7 +68,7 @@ fn main() {
     // fractions of the single-sweep footprint. Infeasible budgets (below
     // the all-high floor) are recorded as such.
     let stats = file.degree_stats(tau).unwrap();
-    let unbounded = plan_ingest(&stats.degrees, stats.mean_degree, tau, None).unwrap();
+    let unbounded = plan_ingest(&stats.degrees, stats.mean_degree, tau, None, 0).unwrap();
     let single_sweep = unbounded.estimated_peak_bytes;
     let mut t = Table::new(["budget", "τ ran", "column sweeps", "est. peak"]);
     let mut budget_rows = Vec::new();
@@ -79,7 +79,7 @@ fn main() {
         .collect();
     for budget in budgets {
         let label = budget.map_or("unbounded".into(), format_bytes);
-        match plan_ingest(&stats.degrees, stats.mean_degree, tau, budget) {
+        match plan_ingest(&stats.degrees, stats.mean_degree, tau, budget, 0) {
             Ok(plan) => {
                 t.row([
                     label,

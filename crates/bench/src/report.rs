@@ -195,6 +195,7 @@ fn env_block() -> Json {
         ),
         ("HEP_KERNEL", hep_env("HEP_KERNEL")),
         ("HEP_THREADS", hep_env("HEP_THREADS")),
+        ("HEP_STREAM_BATCH", hep_env("HEP_STREAM_BATCH")),
         ("HEP_SCALE", hep_env("HEP_SCALE")),
         ("HEP_SPLIT_FACTOR", hep_env("HEP_SPLIT_FACTOR")),
         ("HEP_REFINE_PASSES", hep_env("HEP_REFINE_PASSES")),

@@ -8,7 +8,7 @@
 use crate::config::HepConfig;
 use crate::nepp::{run_nepp, NeppStats};
 use crate::nepp_par::run_nepp_par;
-use crate::planner::{plan_ingest, IngestPlan};
+use crate::planner::{estimate_stream_overhead_bytes, plan_ingest, plan_stream_batch, IngestPlan};
 use crate::streaming::stream_h2h;
 use hep_graph::partitioner::check_inputs;
 use hep_graph::{
@@ -52,16 +52,28 @@ impl Drop for TempFileGuard {
 /// records what actually ran. `io_mode` overrides the file's pass backend
 /// ([`IoMode::Auto`] keeps the file's own setting, which defaults to the
 /// `HEP_IO_MODE` environment).
+///
+/// `stream` extends the plan's peak accounting over phase 2: given the
+/// `(k, batch)` the driver will stream with, the planner charges
+/// [`estimate_stream_overhead_bytes`] alongside the resident arrays
+/// (ROADMAP: "the phase-2 replica sets are unbudgeted" — no longer). Pass
+/// `None` to plan ingestion alone, the pre-phase-2 behavior.
 pub fn ingest_file_budgeted(
     file: &BinaryEdgeFile,
     tau: f64,
     memory_budget_bytes: Option<u64>,
     io_mode: IoMode,
+    stream: Option<(u32, usize)>,
     h2h_sink: impl FnMut(Edge),
 ) -> Result<(PrunedCsr, IngestPlan), GraphError> {
     let file = file.clone().with_io_mode(io_mode);
     let stats = file.degree_stats(tau)?;
-    let plan = plan_ingest(&stats.degrees, stats.mean_degree, tau, memory_budget_bytes)?;
+    let phase2_overhead = match stream {
+        Some((k, batch)) => estimate_stream_overhead_bytes(&stats.degrees, k, batch),
+        None => 0,
+    };
+    let plan =
+        plan_ingest(&stats.degrees, stats.mean_degree, tau, memory_budget_bytes, phase2_overhead)?;
     // A degraded τ re-classifies from the degrees already in hand — no
     // extra pass over the file.
     let stats = if plan.tau == tau {
@@ -132,6 +144,18 @@ impl Hep {
         Hep { config: HepConfig::with_tau(tau) }
     }
 
+    /// The phase-2 batch size this run streams with: the configured
+    /// [`HepConfig::stream_batch`] when set, else planner-sized from the
+    /// memory budget. Output is bit-identical at every batch size; only
+    /// buffer memory and scoring parallelism change.
+    fn stream_batch_for(&self, k: u32) -> usize {
+        if self.config.stream_batch > 0 {
+            self.config.stream_batch
+        } else {
+            plan_stream_batch(k, self.config.memory_budget_bytes)
+        }
+    }
+
     /// Runs both phases and returns the detailed report.
     pub fn partition_with_report(
         &self,
@@ -196,6 +220,7 @@ impl Hep {
             self.config.tau,
             self.config.memory_budget_bytes,
             self.config.io_mode,
+            Some((k, self.stream_batch_for(k))),
             |e| {
                 let r = writer
                     .write_all(&e.src.to_le_bytes())
@@ -281,6 +306,7 @@ impl Hep {
             total_edges,
             self.config.lambda,
             self.config.alpha,
+            self.stream_batch_for(k),
             sink,
         );
         if let Some(err) = read_err {
@@ -495,7 +521,7 @@ mod tests {
         // sweeps at the same τ; the assignment must be bit-identical.
         let stats = file.degree_stats(tau).unwrap();
         let one_sweep =
-            crate::planner::plan_ingest(&stats.degrees, stats.mean_degree, tau, None).unwrap();
+            crate::planner::plan_ingest(&stats.degrees, stats.mean_degree, tau, None, 0).unwrap();
         let mut config = HepConfig::with_tau(tau);
         config.memory_budget_bytes = Some(one_sweep.estimated_peak_bytes - 1);
         let mut sink = CollectedAssignment::default();

@@ -132,6 +132,76 @@ pub fn estimate_refine_overhead_bytes(graph: &EdgeList, tau: f64, k: u32) -> u64
     index + owner + pools + queue
 }
 
+/// Default phase-2 batch when no memory budget constrains it: big enough
+/// to amortize the per-batch barrier, small enough that the worst-case
+/// shortlist buffers stay a few MiB at paper-scale k.
+pub const DEFAULT_STREAM_BATCH: usize = 8192;
+
+/// Sizes the phase-2 streaming batch (`HepConfig::stream_batch = 0`) from
+/// the memory budget: the per-edge batch state — two ⌈k/64⌉-word candidate
+/// bitmasks plus 24 B of per-edge metadata and the 8 B buffered edge — is
+/// held to at most a quarter of the budget (clamped to [64 KiB, 8 MiB] of
+/// buffer, batch to [64, 65536] edges). Output is batch-invariant, so this
+/// is purely a memory/parallelism trade.
+pub fn plan_stream_batch(k: u32, memory_budget_bytes: Option<u64>) -> usize {
+    let Some(budget) = memory_budget_bytes else {
+        return DEFAULT_STREAM_BATCH;
+    };
+    let target = (budget / 4).clamp(64 << 10, 8 << 20);
+    let per_edge = stream_batch_bytes_per_edge(k);
+    ((target / per_edge) as usize).clamp(64, 65536)
+}
+
+/// Heap bytes one buffered edge contributes to a batch: the edge itself
+/// (8), the scoring metadata (two f64 partial scores and flags: 24), up
+/// to two 4 B first-sighting list entries, and — worst case, when every
+/// endpoint of the batch is distinct — two ⌈k/64⌉-word candidate bitmasks
+/// in the per-vertex mask cache.
+fn stream_batch_bytes_per_edge(k: u32) -> u64 {
+    8 + 24 + 8 + 16 * (k.max(1) as u64).div_ceil(64)
+}
+
+/// Upper bound on the phase-2 streaming engine's working state beyond the
+/// seed sets it consumes (`tests/ingest_memory.rs` pins measured peak ≤
+/// this estimate):
+///
+/// * the **sparse replica index**: per-vertex sorted partition rows of
+///   capacity `min(k, seeds(v) + min(d(v), k))`, 4 B per entry plus 12 B per
+///   vertex of row bookkeeping. Streaming replicates `v` on at most one new
+///   partition per incident h2h edge, bounding post-seed growth by
+///   `min(d(v), k)`. Seed membership is bounded by `2·min(d(v), k) + 1`:
+///   every secondary-set admission is charged to an in-memory edge incident
+///   to `v` assigned at that moment (the scanning partition, plus at most
+///   one spill target per edge), except a single possible dead-seed entry
+///   (the seed cursor never revisits a vertex). The estimator therefore
+///   charges `min(k, 3·min(d(v), k) + 1)` per row — like the refine index,
+///   this **saturates in k**;
+/// * the per-vertex engine state: a 16 B record (batch-conflict stamp +
+///   live-mask arena slot) per vertex and the shared-endpoint bitset;
+/// * the **live mask arena**: one ⌈k/64⌉-word candidate bitmask per
+///   vertex the stream has touched — lazily grown, so the worst case
+///   charged here (every vertex streamed) transposes the dense replica
+///   sets' footprint, while the actual cost tracks the touched set;
+/// * the load tracker: the load vector plus its ordered `(load, part)` set;
+/// * the batch buffers at the planned batch size
+///   ([`stream_batch_bytes_per_edge`] per edge, worst case);
+/// * the final dense export: the k replica bitsets
+///   [`hep_baselines::scoring::SparseReplicas::to_dense`] materializes for
+///   the finish/metrics consumers while the index is still live.
+pub fn estimate_stream_overhead_bytes(degrees: &[u32], k: u32, batch: usize) -> u64 {
+    let n = degrees.len() as u64;
+    let k64 = k.max(1) as u64;
+    let entries: u64 = degrees.iter().map(|&d| (3 * d.min(k) as u64 + 1).min(k64)).sum();
+    let index = 12 * n + 8 + 4 * entries;
+    let conflict = 16 * n + n.div_ceil(64) * 8;
+    let arena = 8 * k64.div_ceil(64) * n;
+    let tracker = 56 * k64;
+    let buffers = batch.max(1) as u64 * stream_batch_bytes_per_edge(k);
+    let scratch = 16 * k64;
+    let dense_export = k64 * (n.div_ceil(64) * 8);
+    index + conflict + arena + tracker + buffers + scratch + dense_export
+}
+
 /// An ingestion plan under a memory budget: the τ and column-sweep count
 /// the out-of-core pipeline will run with, plus its predicted footprints.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -193,11 +263,21 @@ pub fn ingest_peak_bytes(n: u64, column_entries: u64, sweeps: usize) -> u64 {
 /// plan (τ classifying only isolated vertices as low, maximum sweeps)
 /// misses the budget — the floor is the vertex-proportional state, which
 /// no τ can shrink.
+///
+/// `phase2_overhead_bytes` extends the peak accounting past ingestion:
+/// the streaming engine's working state
+/// ([`estimate_stream_overhead_bytes`]) lives alongside the resident
+/// arrays after the build, so the charged peak per candidate plan is
+/// `max(ingest peak, resident + phase2)`. Pass `0` to plan ingestion
+/// alone (the pre-phase-2 behavior). Sweeps and τ cannot shrink the
+/// phase-2 term — only the batch size can, which is why callers size the
+/// batch via [`plan_stream_batch`] *before* planning.
 pub fn plan_ingest(
     degrees: &[u32],
     mean_degree: f64,
     requested_tau: f64,
     budget_bytes: Option<u64>,
+    phase2_overhead_bytes: u64,
 ) -> Result<IngestPlan, GraphError> {
     if requested_tau.is_nan() || requested_tau <= 0.0 {
         return Err(GraphError::InvalidConfig(format!(
@@ -219,13 +299,17 @@ pub fn plan_ingest(
             None => 0,
         }
     };
+    let peak_at = |entries: u64, sweeps: usize| -> u64 {
+        ingest_peak_bytes(n, entries, sweeps)
+            .max(ingest_resident_bytes(n, entries).saturating_add(phase2_overhead_bytes))
+    };
     let budget = match budget_bytes {
         None => {
             let entries = entries_at(requested_tau);
             return Ok(IngestPlan {
                 tau: requested_tau,
                 column_passes: 1,
-                estimated_peak_bytes: ingest_peak_bytes(n, entries, 1),
+                estimated_peak_bytes: peak_at(entries, 1),
                 resident_bytes: ingest_resident_bytes(n, entries),
             });
         }
@@ -238,7 +322,7 @@ pub fn plan_ingest(
     for _ in 0..=64 {
         let entries = entries_at(tau);
         for sweeps in INGEST_SWEEP_GRID {
-            let peak = ingest_peak_bytes(n, entries, sweeps);
+            let peak = peak_at(entries, sweeps);
             min_peak = min_peak.min(peak);
             if peak <= budget {
                 return Ok(IngestPlan {
@@ -415,12 +499,12 @@ mod tests {
     #[test]
     fn ingest_plan_unbounded_keeps_requested_tau_single_sweep() {
         let g = graph();
-        let plan = plan_ingest(&g.degrees(), g.mean_degree(), 10.0, None).unwrap();
+        let plan = plan_ingest(&g.degrees(), g.mean_degree(), 10.0, None, 0).unwrap();
         assert_eq!(plan.tau, 10.0);
         assert_eq!(plan.column_passes, 1);
         assert!(plan.resident_bytes < plan.estimated_peak_bytes);
         // A generous explicit budget plans identically.
-        let same = plan_ingest(&g.degrees(), g.mean_degree(), 10.0, Some(u64::MAX)).unwrap();
+        let same = plan_ingest(&g.degrees(), g.mean_degree(), 10.0, Some(u64::MAX), 0).unwrap();
         assert_eq!(plan, same);
     }
 
@@ -429,11 +513,11 @@ mod tests {
         let g = graph();
         let degrees = g.degrees();
         let mean = g.mean_degree();
-        let one_sweep = plan_ingest(&degrees, mean, 10.0, None).unwrap();
+        let one_sweep = plan_ingest(&degrees, mean, 10.0, None, 0).unwrap();
         // Squeeze out just the single-sweep cursor slack: more sweeps at
         // the same tau must fit before tau is touched.
         let budget = one_sweep.estimated_peak_bytes - 1;
-        let plan = plan_ingest(&degrees, mean, 10.0, Some(budget)).unwrap();
+        let plan = plan_ingest(&degrees, mean, 10.0, Some(budget), 0).unwrap();
         assert_eq!(plan.tau, 10.0, "tau must not degrade while sweeps can absorb the cut");
         assert!(plan.column_passes > 1);
         assert!(plan.estimated_peak_bytes <= budget);
@@ -447,11 +531,12 @@ mod tests {
         let n = g.num_vertices as u64;
         // Budget below what tau=100 needs even at max sweeps, but above
         // the all-high floor: only a smaller tau fits.
-        let all_low_peak = plan_ingest(&degrees, mean, 100.0, None).unwrap().estimated_peak_bytes;
+        let all_low_peak =
+            plan_ingest(&degrees, mean, 100.0, None, 0).unwrap().estimated_peak_bytes;
         let all_high_peak = ingest_peak_bytes(n, 0, 64);
         assert!(all_high_peak < all_low_peak);
         let budget = all_high_peak + (all_low_peak - all_high_peak) / 8;
-        let plan = plan_ingest(&degrees, mean, 100.0, Some(budget)).unwrap();
+        let plan = plan_ingest(&degrees, mean, 100.0, Some(budget), 0).unwrap();
         assert!(plan.tau < 100.0, "tau must degrade, got {}", plan.tau);
         assert!(plan.estimated_peak_bytes <= budget, "plan exceeds budget");
     }
@@ -459,7 +544,7 @@ mod tests {
     #[test]
     fn ingest_plan_impossible_budget_is_typed_error() {
         let g = graph();
-        let err = plan_ingest(&g.degrees(), g.mean_degree(), 10.0, Some(1)).unwrap_err();
+        let err = plan_ingest(&g.degrees(), g.mean_degree(), 10.0, Some(1), 0).unwrap_err();
         match err {
             hep_graph::GraphError::BudgetExceeded { budget_bytes, required_bytes } => {
                 assert_eq!(budget_bytes, 1);
@@ -467,7 +552,61 @@ mod tests {
             }
             other => panic!("expected BudgetExceeded, got {other}"),
         }
-        assert!(plan_ingest(&g.degrees(), g.mean_degree(), 0.0, None).is_err());
+        assert!(plan_ingest(&g.degrees(), g.mean_degree(), 0.0, None, 0).is_err());
+    }
+
+    #[test]
+    fn stream_overhead_saturates_in_k_and_scales_with_batch() {
+        let g = graph();
+        let degrees = g.degrees();
+        let at = |k, batch| estimate_stream_overhead_bytes(&degrees, k, batch);
+        assert!(at(32, 4096) > at(8, 4096), "more parts, larger rows and export sets");
+        assert!(at(32, 65536) > at(32, 64), "bigger batch, bigger buffers");
+        // The index term saturates once k exceeds the 3·max_degree + 1 row
+        // bound; only the k-proportional terms (dense export, mask arena,
+        // tracker, per-edge shortlist bound) keep growing — strictly slower
+        // than k x |V|.
+        let n = degrees.len() as u64;
+        let max_d = degrees.iter().copied().max().unwrap() as u64;
+        let sat = (3 * max_d + 1) as u32;
+        let dense_growth = at(2 * sat, 64) - at(sat, 64);
+        assert!(
+            dense_growth < sat as u64 * (n.div_ceil(64) * 8 + 16 * 64 + 56 + 17),
+            "index entries must stop growing once k exceeds the row bound"
+        );
+    }
+
+    #[test]
+    fn stream_batch_plan_respects_budget_quarter() {
+        assert_eq!(plan_stream_batch(32, None), DEFAULT_STREAM_BATCH);
+        let b = plan_stream_batch(32, Some(6 << 20));
+        assert!((64..=65536).contains(&b));
+        // The planned batch's buffer bytes fit a quarter budget (k = 32:
+        // one mask word per endpoint).
+        assert!(b as u64 * (8 + 24 + 8 + 16) <= (6 << 20) / 4);
+        // Tighter budgets and larger k both shrink the batch (to the floor).
+        assert!(plan_stream_batch(128, Some(6 << 20)) <= b);
+        assert_eq!(plan_stream_batch(1 << 20, Some(1)), 64, "floor at 64 edges");
+    }
+
+    #[test]
+    fn phase2_overhead_extends_the_ingest_peak() {
+        let g = graph();
+        let degrees = g.degrees();
+        let mean = g.mean_degree();
+        let base = plan_ingest(&degrees, mean, 10.0, None, 0).unwrap();
+        // A phase-2 term smaller than the ingest transient changes nothing.
+        let small = plan_ingest(&degrees, mean, 10.0, None, 1).unwrap();
+        assert_eq!(base, small);
+        // A dominating phase-2 term shows up as the charged peak.
+        let huge = 64 << 20;
+        let plan = plan_ingest(&degrees, mean, 10.0, None, huge).unwrap();
+        assert_eq!(plan.estimated_peak_bytes, plan.resident_bytes + huge);
+        // And a budget below resident + phase2 is a typed failure even
+        // though ingestion alone would fit: sweeps cannot shrink phase 2.
+        let budget = base.estimated_peak_bytes;
+        let err = plan_ingest(&degrees, mean, 10.0, Some(budget), huge).unwrap_err();
+        assert!(matches!(err, GraphError::BudgetExceeded { .. }), "got {err}");
     }
 
     #[test]

@@ -8,8 +8,11 @@
 //! proxy, see `hep::metrics::alloc_track`), so it must stay its own
 //! integration-test binary: the tracked regions are process-wide.
 
-use hep::core::{ingest_file_budgeted, ingest_peak_bytes, plan_ingest, IngestPlan};
-use hep::graph::{BinaryEdgeFile, EdgeList, IoMode, PrunedCsr};
+use hep::core::{
+    estimate_stream_overhead_bytes, ingest_file_budgeted, ingest_peak_bytes, plan_ingest,
+    stream_h2h, IngestPlan,
+};
+use hep::graph::{BinaryEdgeFile, Edge, EdgeList, IoMode, PrunedCsr};
 use hep::metrics::alloc_track::{self, CountingAlloc};
 use std::path::PathBuf;
 
@@ -49,7 +52,7 @@ fn measured_ingest(
     alloc_track::reset_peak();
     let baseline = alloc_track::current_bytes();
     let mut h2h = 0u64;
-    let result = ingest_file_budgeted(file, tau, budget, IoMode::Buffered, |_| h2h += 1);
+    let result = ingest_file_budgeted(file, tau, budget, IoMode::Buffered, None, |_| h2h += 1);
     let peak = alloc_track::peak_bytes().saturating_sub(baseline) as u64;
     drop(guard);
     let (csr, plan) = result.unwrap();
@@ -115,7 +118,7 @@ fn tau_degrades_rather_than_exceeding_budget() {
     let requested_peak = ingest_peak_bytes(n, stats.low_degree_adjacency_entries(), 64);
     assert!(requested_peak > floor, "fixture must have low-degree adjacency to shed");
     let budget = floor + (requested_peak - floor) / 8;
-    let plan = plan_ingest(&stats.degrees, stats.mean_degree, requested, Some(budget)).unwrap();
+    let plan = plan_ingest(&stats.degrees, stats.mean_degree, requested, Some(budget), 0).unwrap();
     assert!(plan.tau < requested, "planner must degrade τ, got {}", plan.tau);
     let (_, base_plan, base_h2h, _) = measured_ingest(&file, requested, None);
     assert_eq!(base_plan.tau, requested);
@@ -126,6 +129,75 @@ fn tau_degrades_rather_than_exceeding_budget() {
     assert!(peak <= budget, "peak {peak} over budget {budget}");
     assert!(h2h > base_h2h, "a degraded τ must stream more edges");
     assert_eq!(csr.num_inmem_edges() + h2h, g.num_edges(), "coverage must survive degradation");
+}
+
+/// The phase-2 companion bound: the batched streaming engine's measured
+/// peak heap — the sparse replica index, the conflict detector, the load
+/// tracker, the batch buffers, and the final dense export — stays under
+/// [`estimate_stream_overhead_bytes`], the term `plan_ingest` charges
+/// against the budget. The h2h workload, degree table, and seed sets are
+/// built outside the measured region (the engine *consumes* the seed sets;
+/// the estimate covers everything it allocates beyond them), and the sink
+/// is a counting closure so no assignment storage muddies the measurement.
+#[test]
+fn stream_engine_peak_stays_within_planner_estimate() {
+    let n = 10_000u32;
+    let m = 50_000usize;
+    let k = 32u32;
+    let mut rng = hep::ds::SplitMix64::new(17);
+    let mut edges = Vec::with_capacity(m);
+    let mut degrees = vec![0u32; n as usize];
+    for _ in 0..m {
+        // Square one draw toward low ids: hub rows grow toward the k clamp.
+        let a = (rng.next_below(n as u64) * rng.next_below(n as u64) / n as u64) as u32;
+        let b = rng.next_below(n as u64) as u32;
+        edges.push(Edge::new(a, b));
+        degrees[a as usize] += 1;
+        degrees[b as usize] += 1;
+    }
+    let mut seed_sets: Vec<hep::ds::DenseBitset> =
+        (0..k).map(|_| hep::ds::DenseBitset::new(n as usize)).collect();
+    let mut sizes = vec![0u64; k as usize];
+    for v in 0..2_000u32 {
+        seed_sets[(v % k) as usize].set(v);
+    }
+    for (p, s) in sizes.iter_mut().enumerate() {
+        *s = (p as u64) * 11;
+    }
+    for batch in [64usize, 4096] {
+        let estimate = estimate_stream_overhead_bytes(&degrees, k, batch);
+        // Clone the consumed inputs outside the measured region: the
+        // estimate covers the engine's own state, not its seed sets.
+        let (run_sets, run_sizes) = (seed_sets.clone(), sizes.clone());
+        let guard = REGION.lock().unwrap_or_else(|p| p.into_inner());
+        alloc_track::reset_peak();
+        let baseline = alloc_track::current_bytes();
+        let mut assigned = 0u64;
+        let mut sink = |_u: u32, _v: u32, _p: u32| assigned += 1;
+        let result = stream_h2h(
+            edges.iter().copied(),
+            &degrees,
+            run_sets,
+            run_sizes,
+            2 * m as u64,
+            1.1,
+            1.05,
+            batch,
+            &mut sink,
+        );
+        let peak = alloc_track::peak_bytes().saturating_sub(baseline) as u64;
+        drop(guard);
+        let state = result.unwrap();
+        assert_eq!(assigned, m as u64);
+        assert_eq!(
+            (0..k).map(|p| state.load(p)).sum::<u64>(),
+            m as u64 + sizes.iter().sum::<u64>()
+        );
+        assert!(
+            peak <= estimate,
+            "batch {batch}: stream peak {peak} exceeds planner estimate {estimate}"
+        );
+    }
 }
 
 /// The acceptance input: a graph whose materialized `EdgeList` alone

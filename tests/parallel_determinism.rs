@@ -430,4 +430,173 @@ proptest! {
             serial_rf
         );
     }
+
+    #[test]
+    fn batched_stream_pipeline_is_thread_and_batch_invariant(
+        seed in 0u64..1000,
+        split in prop_oneof![Just(1u32), Just(4)],
+    ) {
+        // The PR 8 tentpole invariant at the pipeline level: the batched
+        // phase-2 engine is bit-identical at every (thread count × batch
+        // size) combination, including batch = 1 (a frozen snapshot per
+        // edge) and 65536 (the validate() ceiling's neighborhood). τ = 1
+        // sends a large h2h stream through phase 2.
+        let g = hep::gen::GraphSpec::ChungLu { n: 1_500, m: 12_000, gamma: 2.2 }.generate(seed);
+        let run = |threads: usize, batch: usize| {
+            hep::par::with_threads(threads, || {
+                let mut config = hep::core::HepConfig::with_tau(1.0);
+                config.split_factor = split;
+                config.stream_batch = batch;
+                let hep = hep::core::Hep { config };
+                let mut sink = hep::graph::partitioner::CollectedAssignment::default();
+                let report = hep.partition_with_report(&g, 8, &mut sink).unwrap();
+                (sink.assignments, report.partition_sizes)
+            })
+        };
+        let baseline = run(1, 1);
+        for threads in [1usize, 8] {
+            for batch in [1usize, 64, 65536] {
+                let other = run(threads, batch);
+                prop_assert_eq!(
+                    &baseline, &other,
+                    "pipeline diverged at threads={}, batch={}", threads, batch
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_stream_engine_matches_serial_bitwise(
+        seed in 0u64..1000,
+        k in prop_oneof![Just(4u32), Just(32)],
+        batch in prop_oneof![Just(1usize), Just(64), Just(65536)],
+    ) {
+        // The engine-level contract behind the pipeline property: on a raw
+        // hub-skewed h2h stream with NE++-like seeded replicas and uneven
+        // loads, the batched engine reproduces `stream_h2h_serial` exactly —
+        // assignment sequence, final loads, and every replica-set word — at
+        // 1 and 8 workers.
+        use hep::ds::DenseBitset;
+        let n = 300u32;
+        let m = 4_000usize;
+        let mut rng = hep::ds::SplitMix64::new(seed);
+        let mut edges = Vec::with_capacity(m);
+        let mut degrees = vec![0u32; n as usize];
+        for _ in 0..m {
+            let a = (rng.next_below(n as u64) * rng.next_below(n as u64) / n as u64) as u32;
+            let b = rng.next_below(n as u64) as u32;
+            edges.push(hep::graph::Edge::new(a, b));
+            degrees[a as usize] += 1;
+            degrees[b as usize] += 1;
+        }
+        let mut seed_sets: Vec<DenseBitset> =
+            (0..k).map(|_| DenseBitset::new(n as usize)).collect();
+        let mut sizes = vec![0u64; k as usize];
+        for v in 0..60u32 {
+            seed_sets[(v % k) as usize].set(v);
+        }
+        for (p, s) in sizes.iter_mut().enumerate() {
+            *s = (p as u64) * 29;
+        }
+        let mut serial_sink = hep::graph::partitioner::CollectedAssignment::default();
+        let serial = hep::core::stream_h2h_serial(
+            edges.iter().copied(),
+            &degrees,
+            seed_sets.clone(),
+            sizes.clone(),
+            2 * m as u64,
+            1.1,
+            1.05,
+            &mut serial_sink,
+        )
+        .unwrap();
+        for threads in [1usize, 8] {
+            let (assignments, state) = hep::par::with_threads(threads, || {
+                let mut sink = hep::graph::partitioner::CollectedAssignment::default();
+                let state = hep::core::stream_h2h(
+                    edges.iter().copied(),
+                    &degrees,
+                    seed_sets.clone(),
+                    sizes.clone(),
+                    2 * m as u64,
+                    1.1,
+                    1.05,
+                    batch,
+                    &mut sink,
+                )
+                .unwrap();
+                (sink.assignments, state)
+            });
+            prop_assert_eq!(&assignments, &serial_sink.assignments);
+            for p in 0..k {
+                prop_assert_eq!(state.load(p), serial.load(p), "load {} diverged", p);
+                prop_assert_eq!(
+                    state.replica_sets()[p as usize].words(),
+                    serial.replica_sets()[p as usize].words(),
+                    "replica set {} diverged", p
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_replica_index_agrees_with_dense_after_every_batch(
+        seed in 0u64..1000,
+        batch in prop_oneof![Just(1usize), Just(37), Just(512)],
+    ) {
+        // The sparse-index layer in isolation: after every committed batch
+        // the per-vertex rows must describe exactly the replica sets a dense
+        // replay of the emitted assignments produces — no leaked candidate
+        // from a scoring pass, no dropped commit.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let n = 200u32;
+        let k = 8u32;
+        let g = hep::gen::GraphSpec::ChungLu { n, m: 2_000, gamma: 2.2 }.generate(seed);
+        let degrees = g.degrees();
+        let seed_sets: Vec<hep::ds::DenseBitset> =
+            (0..k).map(|_| hep::ds::DenseBitset::new(n as usize)).collect();
+        let sizes = vec![0u64; k as usize];
+        let log: Rc<RefCell<Vec<(u32, u32, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut sink = {
+            let log = Rc::clone(&log);
+            move |u: u32, v: u32, p: u32| log.borrow_mut().push((u, v, p))
+        };
+        let mut replay = hep::baselines::ReplicaState::new(k, n);
+        let mut replayed = 0usize;
+        let mut batches = 0usize;
+        hep::core::stream_h2h_with_inspect(
+            g.edges.iter().copied(),
+            &degrees,
+            seed_sets,
+            sizes,
+            g.num_edges(),
+            1.1,
+            1.05,
+            batch,
+            &mut sink,
+            &mut |index, loads| {
+                batches += 1;
+                let assignments = log.borrow();
+                for &(u, v, p) in &assignments[replayed..] {
+                    replay.assign(u, v, p);
+                }
+                replayed = assignments.len();
+                for p in 0..k {
+                    assert_eq!(loads[p as usize], replay.load(p), "loads diverge on {p}");
+                }
+                for v in 0..n {
+                    for p in 0..k {
+                        assert_eq!(
+                            index.is_replicated(v, p),
+                            replay.is_replicated(v, p),
+                            "replica ({v}, {p}) diverges after batch"
+                        );
+                    }
+                }
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(batches, (g.num_edges() as usize).div_ceil(batch));
+    }
 }
