@@ -208,7 +208,7 @@ impl EdgePartitioner for Dne {
         loop {
             let active: Vec<u32> = (0..k)
                 .filter(|&p| {
-                    let s = states[p as usize].lock().expect("state lock");
+                    let s = hep_ds::sync::lock(&states[p as usize]);
                     !s.done && s.size < cap
                 })
                 .collect();
@@ -221,7 +221,7 @@ impl EdgePartitioner for Dne {
             let csr_ref = &csr;
             let proposals: Vec<(u32, Vec<u32>)> = pool.par_map(active.len(), |i| {
                 let p = active[i];
-                let mut state = states[p as usize].lock().expect("state lock");
+                let mut state = hep_ds::sync::lock(&states[p as usize]);
                 (p, state.expand_round(csr_ref, claimed_ref, cap, batch))
             });
             // Serial merge in partition order: lowest id wins a conflict;
@@ -233,7 +233,7 @@ impl EdgePartitioner for Dne {
                         granted[p as usize].push(eid);
                         any = true;
                     } else {
-                        states[p as usize].lock().expect("state lock").size -= 1;
+                        hep_ds::sync::lock(&states[p as usize]).size -= 1;
                     }
                 }
             }
@@ -247,6 +247,7 @@ impl EdgePartitioner for Dne {
         let mut sizes: Vec<u64> = granted.iter().map(|g| g.len() as u64).collect();
         for eid in 0..graph.edges.len() as u32 {
             if !claimed.get(eid) {
+                // hep-lint: allow(HL007) -- check_inputs rejects k == 0, so the range is non-empty
                 let p = (0..k).min_by_key(|&p| sizes[p as usize]).expect("k >= 1");
                 sizes[p as usize] += 1;
                 granted[p as usize].push(eid);

@@ -144,6 +144,7 @@ impl MetisLike {
             if m != cv {
                 collect(m, &mut acc);
             }
+            // hep-lint: allow(HL001) -- collected then sorted on the next line; order cannot leak
             cadj[c as usize] = acc.iter().map(|(&u, &w)| (u, w)).collect();
             cadj[c as usize].sort_unstable();
         }

@@ -253,6 +253,7 @@ impl<'a> NeEngine<'a> {
             let target = (0..self.k)
                 .find(|&p| self.sizes[p as usize] < self.caps[p as usize])
                 .unwrap_or_else(|| {
+                    // hep-lint: allow(HL007) -- check_inputs rejects k == 0, so the range is non-empty
                     (0..self.k).min_by_key(|&p| self.sizes[p as usize]).expect("k >= 1")
                 });
             self.sizes[target as usize] += 1;

@@ -74,12 +74,13 @@ fn main() {
         // defaults to 4 so the breakdown shows both paths; an explicit 1
         // means serial-only, matching the variable's meaning everywhere
         // else.
-        let splits: Vec<u32> =
-            match std::env::var("HEP_SPLIT_FACTOR").ok().and_then(|v| v.parse::<u32>().ok()) {
-                Some(1) => vec![1],
-                Some(v) if v > 1 => vec![1, v],
-                _ => vec![1, 4],
-            };
+        let splits: Vec<u32> = match hep_ds::env_registry::read("HEP_SPLIT_FACTOR")
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            Some(1) => vec![1],
+            Some(v) if v > 1 => vec![1, v],
+            _ => vec![1, 4],
+        };
         let mut tp = Table::new(["config", "split", "build", "nepp", "cleanup/pack", "stream"]);
         for tau in [100.0, 10.0, 1.0] {
             for &split_factor in &splits {

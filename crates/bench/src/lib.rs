@@ -30,7 +30,7 @@ pub fn scale() -> u32 {
     if test_mode() {
         return 1;
     }
-    std::env::var("HEP_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1).max(1)
+    hep_ds::env_registry::read("HEP_SCALE").and_then(|s| s.parse().ok()).unwrap_or(1).max(1)
 }
 
 /// The experiment's dataset list, truncated to its first entry in smoke

@@ -174,12 +174,14 @@ impl Json {
 /// Cross-PR numbers from different containers are only interpretable
 /// with this attached (the 1-CPU container caveat of ROADMAP item 4).
 fn env_block() -> Json {
-    let hep_env = |name: &str| Json::from(std::env::var(name).ok());
-    Json::object([
-        ("nproc", std::thread::available_parallelism().map_or(Json::Null, |n| n.get().into())),
-        ("threads", hep_par::threads().into()),
+    let mut pairs: Vec<(String, Json)> = vec![
         (
-            "cpu_features",
+            "nproc".to_string(),
+            std::thread::available_parallelism().map_or(Json::Null, |n| n.get().into()),
+        ),
+        ("threads".to_string(), hep_par::threads().into()),
+        (
+            "cpu_features".to_string(),
             Json::Array(if hep_ds::kernels::avx2_available() {
                 vec![Json::from("avx2")]
             } else {
@@ -187,22 +189,22 @@ fn env_block() -> Json {
             }),
         ),
         (
-            "kernel",
+            "kernel".to_string(),
             match hep_ds::kernels::active() {
                 hep_ds::kernels::Kernel::Scalar => "scalar".into(),
                 hep_ds::kernels::Kernel::Avx2 => "avx2".into(),
             },
         ),
-        ("HEP_KERNEL", hep_env("HEP_KERNEL")),
-        ("HEP_THREADS", hep_env("HEP_THREADS")),
-        ("HEP_STREAM_BATCH", hep_env("HEP_STREAM_BATCH")),
-        ("HEP_SCALE", hep_env("HEP_SCALE")),
-        ("HEP_SPLIT_FACTOR", hep_env("HEP_SPLIT_FACTOR")),
-        ("HEP_REFINE_PASSES", hep_env("HEP_REFINE_PASSES")),
-        ("HEP_IO_MODE", hep_env("HEP_IO_MODE")),
-        ("HEP_MEMORY_BUDGET", hep_env("HEP_MEMORY_BUDGET")),
-        ("HEP_CSR_LAYOUT", hep_env("HEP_CSR_LAYOUT")),
-    ])
+    ];
+    // Every registered runtime knob, in registry order — the report's raw
+    // record of the configuration that produced the numbers. Generated
+    // from the env registry so a new knob cannot be forgotten here.
+    for knob in hep_ds::env_registry::KNOBS {
+        if knob.name.starts_with("HEP_") {
+            pairs.push((knob.name.to_string(), hep_ds::env_registry::read(knob.name).into()));
+        }
+    }
+    Json::Object(pairs)
 }
 
 /// Builder for one bench binary's `BENCH_<name>.json`.

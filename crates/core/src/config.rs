@@ -2,6 +2,12 @@
 
 use hep_graph::IoMode;
 
+/// The workspace environment-knob registry (defined in
+/// [`hep_ds::env_registry`], re-exported here as the documented path).
+/// Every `HEP_*` default below resolves through [`env_registry::read`];
+/// `hep-lint` rejects raw `std::env::var` calls and unregistered names.
+pub use hep_ds::env_registry;
+
 /// Tunables of a HEP run. The paper's evaluated configurations are
 /// `tau ∈ {100, 10, 1}` with HDRF defaults for the streaming phase.
 #[derive(Clone, Debug)]
@@ -92,10 +98,10 @@ pub enum CsrLayout {
 fn env_csr_layout() -> CsrLayout {
     use std::sync::OnceLock;
     static LAYOUT: OnceLock<CsrLayout> = OnceLock::new();
-    *LAYOUT.get_or_init(|| match std::env::var("HEP_CSR_LAYOUT").as_deref() {
-        Ok("degree") => CsrLayout::DegreeSorted,
-        Ok("input") | Err(_) => CsrLayout::InputOrder,
-        Ok(other) => {
+    *LAYOUT.get_or_init(|| match env_registry::read("HEP_CSR_LAYOUT").as_deref() {
+        Some("degree") => CsrLayout::DegreeSorted,
+        Some("input") | None => CsrLayout::InputOrder,
+        Some(other) => {
             eprintln!("unknown HEP_CSR_LAYOUT={other:?} (want input|degree); using input order");
             CsrLayout::InputOrder
         }
@@ -113,8 +119,7 @@ fn env_split_factor() -> u32 {
     use std::sync::OnceLock;
     static SPLIT: OnceLock<u32> = OnceLock::new();
     *SPLIT.get_or_init(|| {
-        std::env::var("HEP_SPLIT_FACTOR")
-            .ok()
+        env_registry::read("HEP_SPLIT_FACTOR")
             .and_then(|v| v.trim().parse::<u32>().ok())
             .filter(|&s| s >= 1)
             .unwrap_or(1)
@@ -126,8 +131,7 @@ fn env_refine_passes() -> u32 {
     use std::sync::OnceLock;
     static PASSES: OnceLock<u32> = OnceLock::new();
     *PASSES.get_or_init(|| {
-        std::env::var("HEP_REFINE_PASSES")
-            .ok()
+        env_registry::read("HEP_REFINE_PASSES")
             .and_then(|v| v.trim().parse::<u32>().ok())
             .unwrap_or(DEFAULT_REFINE_PASSES)
     })
@@ -159,9 +163,9 @@ pub const MAX_STREAM_BATCH: usize = 1 << 24;
 fn env_stream_batch() -> usize {
     use std::sync::OnceLock;
     static BATCH: OnceLock<usize> = OnceLock::new();
-    *BATCH.get_or_init(|| match std::env::var("HEP_STREAM_BATCH").as_deref() {
-        Ok("auto") | Err(_) => 0,
-        Ok(v) => v.trim().parse::<usize>().unwrap_or(0),
+    *BATCH.get_or_init(|| match env_registry::read("HEP_STREAM_BATCH").as_deref() {
+        Some("auto") | None => 0,
+        Some(v) => v.trim().parse::<usize>().unwrap_or(0),
     })
 }
 
@@ -170,7 +174,7 @@ fn env_memory_budget() -> Option<u64> {
     use std::sync::OnceLock;
     static BUDGET: OnceLock<Option<u64>> = OnceLock::new();
     *BUDGET.get_or_init(|| {
-        std::env::var("HEP_MEMORY_BUDGET").ok().and_then(|v| parse_byte_size(&v)).filter(|&b| b > 0)
+        env_registry::read("HEP_MEMORY_BUDGET").and_then(|v| parse_byte_size(&v)).filter(|&b| b > 0)
     })
 }
 

@@ -339,7 +339,16 @@ fn hub_aware_winners(
         }
     }
     let mut winners = FxHashMap::default();
-    for (id, subs) in &contenders {
+    // Each id's winner is a pure function of its own entry, so hash-order
+    // iteration would already be output-invariant — but iterating the map
+    // directly is exactly the construct the determinism lint (HL001)
+    // bans, because a future edit could couple iterations through shared
+    // state. Drain into id order instead: cheap (contested ids are a
+    // minority) and structurally order-independent.
+    // hep-lint: allow(HL001) -- drained into a Vec and sorted by id on the next line
+    let mut contended: Vec<(u32, Vec<u32>)> = contenders.into_iter().collect();
+    contended.sort_unstable_by_key(|&(id, _)| id);
+    for (id, subs) in &contended {
         let mut winner = subs[0]; // lowest proposer: subs is in ascending p order
         let e = g.edges[*id as usize];
         // Side with the heavier hub decides; ties fall to the lower
@@ -421,7 +430,7 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
             }
             let active: Vec<u32> = (0..s)
                 .filter(|&p| {
-                    let st = states[p as usize].lock().expect("state lock");
+                    let st = hep_ds::sync::lock(&states[p as usize]);
                     !st.done && (!cap_phase || st.size < sub_caps[p as usize])
                 })
                 .collect();
@@ -435,7 +444,7 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
             let proposals: Vec<(u32, Vec<u32>)> = pool.par_map(active.len(), |i| {
                 let p = active[i];
                 let cap = if cap_phase { sub_caps[p as usize] } else { u64::MAX };
-                let mut st = states_ref[p as usize].lock().expect("state lock");
+                let mut st = hep_ds::sync::lock(&states_ref[p as usize]);
                 (p, st.expand_round(g_ref, high, claimed_ref, deg_ref, cap, batch))
             });
             // Serial merge in sub-partition order: lowest id wins a
@@ -472,7 +481,7 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
                             ungranted_deg[e.dst as usize].saturating_sub(1);
                         any = true;
                     } else {
-                        states[p as usize].lock().expect("state lock").size -= 1;
+                        hep_ds::sync::lock(&states[p as usize]).size -= 1;
                     }
                 }
             }
@@ -481,8 +490,7 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
             }
         }
     }
-    let states: Vec<SubExpansion> =
-        states.into_iter().map(|m| m.into_inner().expect("state lock")).collect();
+    let states: Vec<SubExpansion> = states.into_iter().map(hep_ds::sync::into_inner).collect();
 
     // Safety net (unreachable in practice, see the coverage argument
     // above): any id the expansions never claimed joins the least-loaded
@@ -490,6 +498,7 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
     let mut sub_sizes: Vec<u64> = granted.iter().map(|ids| ids.len() as u64).collect();
     for id in 0..m as u32 {
         if !claimed.get(id) {
+            // hep-lint: allow(HL007) -- split() clamps s to at least 1, so the range is non-empty
             let p = (0..s).min_by_key(|&p| sub_sizes[p as usize]).expect("s >= 1");
             sub_sizes[p as usize] += 1;
             granted[p as usize].push(id);
@@ -498,6 +507,7 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
     debug_assert_eq!(sub_sizes.iter().sum::<u64>(), inmem);
 
     // ---- Pack stage (serial) ----
+    // hep-lint: allow(HL002) -- phase timing lands in PhaseTimings for reports; it never feeds an assignment decision
     let pack_start = std::time::Instant::now();
     // Vertex cover per sub-partition, from its granted edges (tight: only
     // endpoints of edges it actually owns).

@@ -370,6 +370,7 @@ pub fn plan_tau(
         weight_upto[i] += weight_upto[i - 1];
     }
     let mut grid: Vec<f64> = tau_grid.to_vec();
+    // hep-lint: allow(HL007) -- PlannerConfig::validate rejects NaN taus before the sweep runs
     grid.sort_by(|a, b| b.partial_cmp(a).expect("no NaN in tau grid"));
     for tau in grid {
         // The shared §3.1 predicate in histogram form: low iff d <= cutoff.

@@ -620,7 +620,13 @@ fn commit_serial(
 /// balanced. Applying an increment before its matching decrement would
 /// transiently overflow the row and corrupt its neighbor.
 fn apply_overlay(cnt: &mut SparseCounts, delta: FxHashMap<u64, i64>) {
-    let items: Vec<(u64, i64)> = delta.into_iter().collect();
+    // hep-lint: allow(HL001) -- drained into a Vec and key-sorted below before any effect
+    let mut items: Vec<(u64, i64)> = delta.into_iter().collect();
+    // The per-key outcome is order-independent (disjoint keys, net
+    // deltas), but apply in sorted key order anyway so the index's
+    // internal row layout — and any future coupling through it — cannot
+    // depend on hash iteration order.
+    items.sort_unstable();
     for &(key, d) in items.iter().filter(|&&(_, d)| d < 0) {
         cnt.apply_delta((key >> 32) as u32, key as u32, d);
     }
@@ -706,10 +712,11 @@ fn commit_parallel(
                 // Inline path: commit one ready move directly against the
                 // live index (no overlay), retire it, and re-check — small
                 // waves cascade through here without a worker handoff.
+                // hep-lint: allow(HL007) -- non-empty: the is_empty early-return heads the loop
                 let i = ready.pop().expect("non-empty");
                 let (v, a, b) = queue[i as usize];
-                let mut pool_a = pools[a as usize].lock().expect("pool lock");
-                let mut pool_b = pools[b as usize].lock().expect("pool lock");
+                let mut pool_a = hep_ds::sync::lock(&pools[a as usize]);
+                let mut pool_b = hep_ds::sync::lock(&pools[b as usize]);
                 let r = commit_move(v, a, b, g, owner, cnt, &mut pool_a, &mut pool_b);
                 drop((pool_a, pool_b));
                 applied += r.applied as u64;
@@ -721,8 +728,8 @@ fn commit_parallel(
             let mut overlay = Overlay { base: cnt, delta: FxHashMap::default() };
             // Uncontended by construction: parts are exclusive to one
             // move per wave.
-            let mut pool_a = pools[a as usize].lock().expect("pool lock");
-            let mut pool_b = pools[b as usize].lock().expect("pool lock");
+            let mut pool_a = hep_ds::sync::lock(&pools[a as usize]);
+            let mut pool_b = hep_ds::sync::lock(&pools[b as usize]);
             let r = commit_move(v, a, b, g, owner, &mut overlay, &mut pool_a, &mut pool_b);
             (overlay.delta, r)
         },
@@ -851,20 +858,18 @@ pub(crate) fn refine_packed_parts(
         // ---- Commit (gain-bucket order, live re-validation) ----
         let queue = commit_queue(proposals);
         for pool_of in pools.iter_mut() {
-            pool_of.get_mut().expect("pool lock").clear();
+            hep_ds::sync::get_mut(pool_of).clear();
         }
         for (id, slot) in owner.iter().enumerate() {
-            pools[slot.load(Ordering::Relaxed) as usize]
-                .get_mut()
-                .expect("pool lock")
+            hep_ds::sync::get_mut(&mut pools[slot.load(Ordering::Relaxed) as usize])
                 .push(id as u32);
         }
         let (applied, stale) = if pool.threads() <= 1 {
             let mut plain: Vec<Vec<u32>> =
-                pools.iter_mut().map(|p| std::mem::take(p.get_mut().expect("pool lock"))).collect();
+                pools.iter_mut().map(|p| std::mem::take(hep_ds::sync::get_mut(p))).collect();
             let r = commit_serial(&queue, g, &owner, &mut cnt, &mut plain);
             for (slot, vec) in pools.iter_mut().zip(plain) {
-                *slot.get_mut().expect("pool lock") = vec;
+                *hep_ds::sync::get_mut(slot) = vec;
             }
             r
         } else {

@@ -30,7 +30,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
-            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+            self.add_to_hash(crate::bytes::u64_le_at(c, 0));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {

@@ -50,12 +50,12 @@ fn avalanche(mut h: u64) -> u64 {
 
 #[inline]
 fn read_u64(b: &[u8]) -> u64 {
-    u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
+    crate::bytes::u64_le_at(b, 0)
 }
 
 #[inline]
 fn read_u32(b: &[u8]) -> u64 {
-    u32::from_le_bytes(b[..4].try_into().expect("4 bytes")) as u64
+    crate::bytes::u32_le_at(b, 0) as u64
 }
 
 /// One-shot hash of `input` under `seed`. Equivalent to feeding `input` to

@@ -65,7 +65,7 @@ pub fn avx2_available() -> bool {
 }
 
 fn resolve_from_env() -> u8 {
-    let choice = std::env::var("HEP_KERNEL").unwrap_or_default();
+    let choice = crate::env_registry::read("HEP_KERNEL").unwrap_or_default();
     match choice.as_str() {
         "scalar" => FORCED_SCALAR,
         "avx2" => {
@@ -119,7 +119,7 @@ pub fn active() -> Kernel {
 /// is bit-identical to scalar, unrelated threads that observe a forced
 /// kernel mid-test still compute identical results.
 pub fn with_kernel<T>(kernel: Kernel, f: impl FnOnce() -> T) -> T {
-    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = crate::sync::lock(&OVERRIDE_LOCK);
     let prev = ACTIVE.load(Ordering::Relaxed);
     let forced = match kernel {
         Kernel::Scalar => FORCED_SCALAR,
@@ -230,6 +230,10 @@ pub fn union_count(sets: &[&[u64]]) -> usize {
 
 /// [`union_count`] with an explicit kernel flavor.
 pub fn union_count_with(kernel: Kernel, sets: &[&[u64]]) -> usize {
+    debug_assert!(
+        sets.windows(2).all(|w| w[0].len() == w[1].len()),
+        "union_count requires equal-length slices"
+    );
     if runnable_avx2(kernel) {
         // SAFETY: AVX2 support was verified by `runnable_avx2`.
         #[cfg(target_arch = "x86_64")]
@@ -325,6 +329,8 @@ mod avx2 {
     use std::arch::x86_64::*;
 
     /// Per-64-bit-lane popcount of `v` via the nibble lookup table.
+    // SAFETY (to call): AVX2 must be available (`target_feature` makes the
+    // intrinsics instruction-safe then); register-only, no memory access.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn popcount_lanes(v: __m256i) -> __m256i {
@@ -341,6 +347,9 @@ mod avx2 {
     }
 
     /// Horizontal sum of the four 64-bit lanes.
+    // SAFETY (to call): AVX2 must be available. The only memory access is
+    // an unaligned 32-byte store into the local `lanes` array, which is
+    // exactly 32 bytes long and exclusively owned by this frame.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn hsum_epi64(v: __m256i) -> u64 {
@@ -349,6 +358,10 @@ mod avx2 {
         lanes[0].wrapping_add(lanes[1]).wrapping_add(lanes[2]).wrapping_add(lanes[3])
     }
 
+    // SAFETY (to call): AVX2 must be available. Each unaligned 32-byte
+    // load reads `words[4i..4i + 4]` with `i < blocks = words.len() / 4`,
+    // so every access stays inside the borrowed slice; the ragged tail is
+    // read through safe indexing.
     #[target_feature(enable = "avx2")]
     pub unsafe fn count_ones(words: &[u64]) -> usize {
         let blocks = words.len() / 4;
@@ -364,6 +377,10 @@ mod avx2 {
         total
     }
 
+    // SAFETY (to call): AVX2 must be available. Loads from both slices
+    // are bounded by `blocks = min(a.len(), b.len()) / 4` 4-word blocks,
+    // so neither unaligned load can run past its source; the tail uses
+    // safe indexing below `len`.
     #[target_feature(enable = "avx2")]
     pub unsafe fn intersection_count(a: &[u64], b: &[u64]) -> usize {
         let len = a.len().min(b.len());
@@ -383,6 +400,10 @@ mod avx2 {
         total
     }
 
+    // SAFETY (to call): AVX2 must be available. Loads and stores cover
+    // `dst[4i..4i + 4]` / `src[4i..4i + 4]` for `i < min(len) / 4`, in
+    // bounds for both slices; `dst` is exclusively borrowed (`&mut`), so
+    // the in-place stores cannot alias `src`.
     #[target_feature(enable = "avx2")]
     pub unsafe fn union_with(dst: &mut [u64], src: &[u64]) {
         let len = dst.len().min(src.len());
@@ -398,6 +419,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY (to call): AVX2 must be available. Same bounds argument as
+    // `union_with`: all vector accesses stay below `min(len) / 4` blocks
+    // of either slice, and `&mut dst` guarantees the stores are exclusive.
     #[target_feature(enable = "avx2")]
     pub unsafe fn difference_with(dst: &mut [u64], src: &[u64]) {
         let len = dst.len().min(src.len());
@@ -415,6 +439,10 @@ mod avx2 {
         }
     }
 
+    // SAFETY (to call): AVX2 must be available, and every slice in `sets`
+    // must be at least as long as the first (the dispatcher's documented
+    // equal-length contract, debug-asserted there): each load reads block
+    // `i < first.len() / 4` from every member slice.
     #[target_feature(enable = "avx2")]
     pub unsafe fn union_count(sets: &[&[u64]]) -> usize {
         let Some(first) = sets.first() else {
@@ -442,6 +470,11 @@ mod avx2 {
         total
     }
 
+    // SAFETY (to call): AVX2 must be available. `ids` is loaded in full
+    // 8-lane chunks below `ids.len() / 8`; the gather reads 4-byte lanes
+    // of `words` only where `word_idx < 2 * words.len()` (the `in_range`
+    // mask zeroes out-of-range lanes before any load, and the u32 count
+    // is pre-checked to fit the signed compare).
     #[target_feature(enable = "avx2")]
     pub unsafe fn count_members(words: &[u64], ids: &[u32]) -> usize {
         // The gather path views the words as u32 halves (little-endian:
@@ -481,6 +514,8 @@ mod avx2 {
     }
 
     /// Horizontal sum of the eight 32-bit lanes.
+    // SAFETY (to call): AVX2 must be available. The only memory access is
+    // the unaligned 32-byte store into the exactly-32-byte local `lanes`.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn hsum_epi32(v: __m256i) -> usize {

@@ -20,11 +20,14 @@
 //!   bit-identical at any instruction set (`HEP_KERNEL` selects).
 
 pub mod bitset;
+pub mod bytes;
+pub mod env_registry;
 pub mod fx;
 pub mod hasher;
 pub mod kernels;
 pub mod minheap;
 pub mod rng;
+pub mod sync;
 
 pub use bitset::DenseBitset;
 pub use fx::{FxHashMap, FxHashSet, FxHasher};

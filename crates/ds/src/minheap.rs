@@ -98,6 +98,7 @@ impl IndexedMinHeap {
         }
         let min = self.slots[0];
         self.pos[min.1 as usize] = NOT_IN_HEAP;
+        // hep-lint: allow(HL007) -- non-empty: the is_empty early-return is three lines up
         let last = self.slots.pop().expect("non-empty");
         if !self.slots.is_empty() {
             self.slots[0] = last;
@@ -121,6 +122,7 @@ impl IndexedMinHeap {
         let p = p as usize;
         let key = self.slots[p].0;
         self.pos[id as usize] = NOT_IN_HEAP;
+        // hep-lint: allow(HL007) -- non-empty: pos[id] != NOT_IN_HEAP proves id occupies a slot
         let last = self.slots.pop().expect("non-empty");
         if p < self.slots.len() {
             self.slots[p] = last;

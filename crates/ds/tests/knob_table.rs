@@ -1,0 +1,40 @@
+//! The README's environment-knob table is generated from the registry
+//! (`env_registry::markdown_table`), never hand-edited. This test fails
+//! whenever the two drift: add a knob without regenerating the table, or
+//! edit the table without touching the registry, and the build says so.
+
+use std::path::Path;
+
+const BEGIN: &str = "<!-- knob-table:begin";
+const END: &str = "<!-- knob-table:end -->";
+
+#[test]
+fn readme_knob_table_matches_registry() {
+    let readme_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..").join("README.md");
+    let readme = std::fs::read_to_string(&readme_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", readme_path.display()));
+
+    let begin = readme.find(BEGIN).expect("README is missing the knob-table:begin marker");
+    let marker_end = readme[begin..].find('\n').expect("begin marker line ends") + begin + 1;
+    let end = readme.find(END).expect("README is missing the knob-table:end marker");
+    assert!(marker_end < end, "knob-table markers are out of order");
+
+    let embedded = &readme[marker_end..end];
+    let generated = hep_ds::env_registry::markdown_table();
+    assert_eq!(
+        embedded, generated,
+        "README knob table is stale — replace the block between the knob-table \
+         markers with the exact output of hep_ds::env_registry::markdown_table()"
+    );
+}
+
+#[test]
+fn markdown_table_covers_every_knob() {
+    let table = hep_ds::env_registry::markdown_table();
+    for k in hep_ds::env_registry::KNOBS {
+        assert!(table.contains(k.name), "knob {} missing from the table", k.name);
+        assert!(table.contains(k.since), "since column for {} missing", k.name);
+    }
+    // Header plus separator plus one row per knob, nothing else.
+    assert_eq!(table.lines().count(), hep_ds::env_registry::KNOBS.len() + 2);
+}

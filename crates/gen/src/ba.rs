@@ -115,6 +115,7 @@ pub fn barabasi_albert(n: u32, m_per_vertex: u32, seed: u64) -> EdgeList {
             pairs.push((u, v));
         }
     }
+    // hep-lint: allow(HL007) -- the generator samples endpoints modulo n, so ids are in range
     EdgeList::with_vertices(n, pairs).expect("ids in range by construction")
 }
 

@@ -48,6 +48,7 @@ pub fn chung_lu(n: u32, m: u64, gamma: f64, seed: u64) -> EdgeList {
         let v = endpoint(rng);
         (u != v).then_some((u, v))
     });
+    // hep-lint: allow(HL007) -- the generator samples endpoints modulo n, so ids are in range
     EdgeList::with_vertices(n, pairs).expect("ids in range by construction")
 }
 

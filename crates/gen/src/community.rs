@@ -92,6 +92,7 @@ pub fn community_web(params: CommunityParams, seed: u64) -> EdgeList {
             pairs.push((u, v));
         }
     }
+    // hep-lint: allow(HL007) -- the generator samples endpoints modulo n, so ids are in range
     EdgeList::with_vertices(n, pairs).expect("ids in range by construction")
 }
 

@@ -21,6 +21,7 @@ pub fn erdos_renyi(n: u32, m: u64, seed: u64) -> EdgeList {
         let v = rng.next_below(n as u64) as u32;
         (u != v).then_some((u, v))
     });
+    // hep-lint: allow(HL007) -- the generator samples endpoints modulo n, so ids are in range
     EdgeList::with_vertices(n, pairs).expect("ids in range by construction")
 }
 

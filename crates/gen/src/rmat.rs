@@ -66,6 +66,7 @@ pub fn rmat(scale: u32, m: u64, params: RmatParams, seed: u64) -> EdgeList {
         }
         (u != v && u < n && v < n).then_some((u, v))
     });
+    // hep-lint: allow(HL007) -- the generator samples endpoints modulo n, so ids are in range
     EdgeList::with_vertices(n, pairs).expect("ids in range by construction")
 }
 

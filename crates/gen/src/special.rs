@@ -7,18 +7,21 @@ use hep_graph::EdgeList;
 /// Star: vertex 0 connected to `1..n` (Figure 1's example shape).
 pub fn star(n: u32) -> EdgeList {
     assert!(n >= 2);
+    // hep-lint: allow(HL007) -- every generated id is < the vertex count passed alongside it
     EdgeList::with_vertices(n, (1..n).map(|v| (0, v))).expect("in range")
 }
 
 /// Path 0-1-2-...-(n-1).
 pub fn path(n: u32) -> EdgeList {
     assert!(n >= 2);
+    // hep-lint: allow(HL007) -- every generated id is < the vertex count passed alongside it
     EdgeList::with_vertices(n, (0..n - 1).map(|v| (v, v + 1))).expect("in range")
 }
 
 /// Cycle over `n` vertices.
 pub fn cycle(n: u32) -> EdgeList {
     assert!(n >= 3);
+    // hep-lint: allow(HL007) -- every generated id is < the vertex count passed alongside it
     EdgeList::with_vertices(n, (0..n).map(|v| (v, (v + 1) % n))).expect("in range")
 }
 
@@ -26,6 +29,7 @@ pub fn cycle(n: u32) -> EdgeList {
 pub fn complete(n: u32) -> EdgeList {
     assert!(n >= 2);
     let pairs = (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v)));
+    // hep-lint: allow(HL007) -- every generated id is < the vertex count passed alongside it
     EdgeList::with_vertices(n, pairs).expect("in range")
 }
 
@@ -44,6 +48,7 @@ pub fn grid2d(rows: u32, cols: u32) -> EdgeList {
             }
         }
     }
+    // hep-lint: allow(HL007) -- every generated id is < the vertex count passed alongside it
     EdgeList::with_vertices(rows * cols, pairs).expect("in range")
 }
 
@@ -61,6 +66,7 @@ pub fn disconnected_cliques(count: u32, size: u32) -> EdgeList {
             }
         }
     }
+    // hep-lint: allow(HL007) -- every generated id is < the vertex count passed alongside it
     EdgeList::with_vertices(count * size, pairs).expect("in range")
 }
 

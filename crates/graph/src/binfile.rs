@@ -105,9 +105,12 @@ impl IoMode {
     pub fn from_env() -> IoMode {
         static MODE: OnceLock<IoMode> = OnceLock::new();
         *MODE.get_or_init(|| {
-            match std::env::var("HEP_IO_MODE").map(|v| v.to_ascii_lowercase()).as_deref() {
-                Ok("buffered") => IoMode::Buffered,
-                Ok("mmap") => IoMode::Mmap,
+            match hep_ds::env_registry::read("HEP_IO_MODE")
+                .map(|v| v.to_ascii_lowercase())
+                .as_deref()
+            {
+                Some("buffered") => IoMode::Buffered,
+                Some("mmap") => IoMode::Mmap,
                 _ => IoMode::Auto,
             }
         })
@@ -209,9 +212,12 @@ mod mmap_impl {
     }
 
     // SAFETY: the mapping is read-only and private; the region owns it
-    // exclusively and nothing mutates through it, so moving or sharing it
-    // across threads is sound.
+    // exclusively and nothing mutates through it, so moving it to another
+    // thread is sound.
     unsafe impl Send for MmapRegion {}
+    // SAFETY: all access is through `&self` over immutable PROT_READ
+    // pages (a private mapping, so no other process writes them either);
+    // concurrent readers cannot observe a data race.
     unsafe impl Sync for MmapRegion {}
 
     impl MmapRegion {
@@ -426,7 +432,7 @@ impl BinaryEdgeFile {
         if header[0..4] != MAGIC {
             return Err(GraphError::BadHeader("missing HEPB magic".into()));
         }
-        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let version = hep_ds::bytes::u32_le_at(&header, 4);
         let (header_len, payload_checksum) = match version {
             VERSION_V1 => {
                 read_to(&mut r, &mut header[8..V1_HEADER_LEN as usize])?;
@@ -437,7 +443,7 @@ impl BinaryEdgeFile {
                 // Verify the header checksum before trusting a single
                 // field: a forged num_edges must never reach the length
                 // arithmetic below, let alone an allocation.
-                let expected = u64::from_le_bytes(header[20..28].try_into().expect("8 bytes"));
+                let expected = hep_ds::bytes::u64_le_at(&header, 20);
                 let actual = hash64(&header[..20], HEADER_CHECKSUM_SEED);
                 if actual != expected {
                     return Err(GraphError::ChecksumMismatch {
@@ -446,7 +452,7 @@ impl BinaryEdgeFile {
                         actual,
                     });
                 }
-                let payload = u64::from_le_bytes(header[28..36].try_into().expect("8 bytes"));
+                let payload = hep_ds::bytes::u64_le_at(&header, 28);
                 (V2_HEADER_LEN, Some(payload))
             }
             other => {
@@ -455,8 +461,8 @@ impl BinaryEdgeFile {
                 )))
             }
         };
-        let num_vertices = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-        let num_edges = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+        let num_vertices = hep_ds::bytes::u32_le_at(&header, 8);
+        let num_edges = hep_ds::bytes::u64_le_at(&header, 12);
         // Checked arithmetic: a forged `num_edges` near `u64::MAX / 8`
         // would otherwise wrap the expected length around to match a tiny
         // file, and the huge count would then reach
@@ -699,10 +705,7 @@ impl EdgePass {
                 }
                 None => {
                     for rec in bytes.chunks_exact(8) {
-                        f(
-                            u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes")),
-                            u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes")),
-                        )?;
+                        f(hep_ds::bytes::u32_le_at(rec, 0), hep_ds::bytes::u32_le_at(rec, 4))?;
                     }
                 }
             }
@@ -741,10 +744,8 @@ impl Iterator for EdgePass {
                 return Some(Err(GraphError::TruncatedBinary { bytes }));
             }
             if self.carry.is_empty() && buf.len() >= 8 {
-                let e = Edge::new(
-                    u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")),
-                    u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")),
-                );
+                let e =
+                    Edge::new(hep_ds::bytes::u32_le_at(buf, 0), hep_ds::bytes::u32_le_at(buf, 4));
                 if let Some(h) = self.hasher.as_mut() {
                     h.write(&buf[..8]);
                 }
@@ -761,8 +762,8 @@ impl Iterator for EdgePass {
             self.source.consume(take);
             if self.carry.len() == 8 {
                 let e = Edge::new(
-                    u32::from_le_bytes(self.carry[0..4].try_into().expect("4 bytes")),
-                    u32::from_le_bytes(self.carry[4..8].try_into().expect("4 bytes")),
+                    hep_ds::bytes::u32_le_at(&self.carry, 0),
+                    hep_ds::bytes::u32_le_at(&self.carry, 4),
                 );
                 self.carry.clear();
                 self.remaining -= 1;

@@ -94,6 +94,7 @@ impl EdgeList {
             },
         );
         let mut iter = histograms.into_iter();
+        // hep-lint: allow(HL007) -- par_map_init returns one state per worker and the pool always runs at least one worker
         let mut deg = iter.next().expect("at least one worker histogram");
         for hist in iter {
             for (d, h) in deg.iter_mut().zip(hist) {
@@ -134,12 +135,9 @@ impl EdgeList {
         if buf.len() % 8 != 0 {
             return Err(GraphError::TruncatedBinary { bytes: buf.len() % 8 });
         }
-        let pairs = buf.chunks_exact(8).map(|c| {
-            (
-                u32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
-                u32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
-            )
-        });
+        let pairs = buf
+            .chunks_exact(8)
+            .map(|c| (hep_ds::bytes::u32_le_at(c, 0), hep_ds::bytes::u32_le_at(c, 4)));
         Ok(Self::from_pairs(pairs))
     }
 
@@ -250,10 +248,7 @@ impl Iterator for BinaryEdgeReader {
                 }
             }
         }
-        let e = Edge::new(
-            u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")),
-            u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")),
-        );
+        let e = Edge::new(hep_ds::bytes::u32_le_at(&buf, 0), hep_ds::bytes::u32_le_at(&buf, 4));
         if let Some(bound) = self.vertex_bound {
             let m = e.src.max(e.dst);
             if m >= bound {

@@ -30,6 +30,7 @@ pub fn power_law_hypergraph(n: u32, m: u64, max_pins: u32, seed: u64) -> Hypergr
         }
         hyperedges.push(pins);
     }
+    // hep-lint: allow(HL007) -- pins are sampled modulo n, so every id is in range
     Hypergraph::new(n, hyperedges).expect("ids in range by construction")
 }
 

@@ -157,6 +157,7 @@ impl HybridHyper {
         // Remainder (capacity rounding): least-loaded placement.
         for &e in inmem {
             if !assigned.get(e) {
+                // hep-lint: allow(HL007) -- partition() rejects k == 0, so the range is non-empty
                 let p = (0..k).min_by_key(|&p| state.loads[p as usize]).expect("k >= 1");
                 let pins = &h.hyperedges[e as usize];
                 state.assign(pins, p);

@@ -53,6 +53,7 @@ impl HyperReplicaState {
         }
         match best {
             Some((_, _, p)) => p,
+            // hep-lint: allow(HL007) -- partition() rejects k == 0, so the range is non-empty
             None => (0..k).min_by_key(|&p| self.loads[p as usize]).expect("k >= 1"),
         }
     }

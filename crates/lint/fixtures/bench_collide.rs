@@ -1,0 +1,8 @@
+//! HL009 fixture: a bench whose report name collides with bench_ok's —
+//! both would write BENCH_fixture_ok.json.
+//! Linted as `crates/bench/benches/bench_collide.rs`.
+
+fn main() {
+    let report = Report::new("fixture_ok");
+    report.finish();
+}

@@ -1,0 +1,6 @@
+//! HL009 fixture: a bench that never constructs a Report.
+//! Linted as `crates/bench/benches/bench_noreport.rs`.
+
+fn main() {
+    println!("this bench writes no BENCH_*.json artifact");
+}

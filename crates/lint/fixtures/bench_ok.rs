@@ -1,0 +1,8 @@
+//! HL008/HL009 fixture: a well-formed bench — registered in the facade
+//! manifest and emitting exactly one uniquely named report.
+//! Linted as `crates/bench/benches/bench_ok.rs`.
+
+fn main() {
+    let report = Report::new("fixture_ok");
+    report.finish();
+}

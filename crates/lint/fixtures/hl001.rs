@@ -1,0 +1,50 @@
+//! HL001 fixture: hash-ordered iteration in output-affecting code.
+//! Linted as `crates/core/src/hl001.rs`. Lines tagged `//~ HL001` must
+//! produce exactly that diagnostic; untagged lines must stay silent.
+use hep_ds::FxHashMap;
+
+pub fn positive(m: &FxHashMap<u32, u32>) -> u32 {
+    let mut local: FxHashMap<u32, u32> = FxHashMap::default();
+    local.insert(1, 2);
+    let mut sum = 0;
+    for (k, v) in &local { //~ HL001
+        sum += k + v;
+    }
+    sum + m.values().sum::<u32>() //~ HL001
+}
+
+pub fn negative(m: &FxHashMap<u32, u32>) -> Vec<u32> {
+    // Point lookups in a fixed order are deterministic.
+    let mut present: Vec<u32> = Vec::new();
+    for k in 0..10 {
+        if m.contains_key(&k) {
+            present.push(k);
+        }
+    }
+    present
+}
+
+pub fn vec_iteration_is_fine(v: &[u32]) -> u32 {
+    let doubled: Vec<u32> = v.iter().map(|x| x * 2).collect();
+    let mut sum = 0;
+    for x in &doubled {
+        sum += x;
+    }
+    sum
+}
+
+pub fn waivered(m: &FxHashMap<u32, u32>) -> Vec<(u32, u32)> {
+    // hep-lint: allow(HL001) -- drained into a Vec and sorted before any effect
+    let mut items: Vec<(u32, u32)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+    items.sort_unstable();
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ordering_in_tests_is_fine() {
+        let s: std::collections::HashSet<u32> = (0..3).collect();
+        assert_eq!(s.iter().count(), 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! HL002 fixture: wall-clock reads in output-affecting code.
+//! Linted as `crates/core/src/hl002.rs`.
+use std::time::Instant;
+
+pub fn positive() -> f64 {
+    let t = Instant::now(); //~ HL002
+    t.elapsed().as_secs_f64()
+}
+
+pub fn also_positive() -> bool {
+    std::time::SystemTime::now().elapsed().is_ok() //~ HL002
+}
+
+pub fn waivered() -> f64 {
+    // hep-lint: allow(HL002) -- measurement only; the value never steers an assignment
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+pub fn negative(ticks: u64) -> u64 {
+    // A logical clock carried in the data is deterministic.
+    ticks + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

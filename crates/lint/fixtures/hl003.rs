@@ -1,0 +1,33 @@
+//! HL003 fixture: `unsafe` must sit immediately under a SAFETY comment.
+//! Linted as `crates/ds/src/hl003.rs`.
+
+pub fn positive(v: &[u32]) -> u32 {
+    unsafe { *v.get_unchecked(0) } //~ HL003
+}
+
+pub fn negative(v: &[u32]) -> u32 {
+    // SAFETY: the caller guarantees v is non-empty.
+    unsafe { *v.get_unchecked(0) }
+}
+
+pub fn trailing_comment_counts(v: &[u32]) -> u32 {
+    unsafe { *v.get_unchecked(0) } // SAFETY: the caller guarantees v is non-empty.
+}
+
+// SAFETY (to call): p must point at a live, aligned u32. The proof may sit
+// above attributes; continuation lines like this one are part of the block.
+#[inline]
+pub unsafe fn attributed(p: *const u32) -> u32 {
+    *p
+}
+
+pub fn blank_line_breaks_adjacency(v: &[u32]) -> u32 {
+    // SAFETY: this proof is orphaned by the blank line below it.
+
+    unsafe { *v.get_unchecked(0) } //~ HL003
+}
+
+pub fn waivered(v: &[u32]) -> u32 {
+    // hep-lint: allow(HL003) -- fixture: demonstrates that waivers apply to any rule
+    unsafe { *v.get_unchecked(0) }
+}

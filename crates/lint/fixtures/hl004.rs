@@ -1,0 +1,27 @@
+//! HL004 fixture: env reads must flow through the registry gateway.
+//! Linted as `crates/par/src/hl004.rs`.
+
+pub fn positive() -> Option<String> {
+    std::env::var("HEP_THREADS").ok() //~ HL004
+}
+
+pub fn var_os_is_also_a_read() -> bool {
+    std::env::var_os("HEP_THREADS").is_some() //~ HL004
+}
+
+pub fn negative() -> Option<String> {
+    hep_ds::env_registry::read("HEP_THREADS")
+}
+
+pub fn waivered() -> Option<String> {
+    // hep-lint: allow(HL004) -- fixture: mirrors the registry's own sanctioned gateway
+    std::env::var("HEP_THREADS").ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn env_reads_in_tests_are_fine() {
+        let _ = std::env::var("PATH");
+    }
+}

@@ -1,0 +1,32 @@
+//! HL005 fixture: every HEP_* name in a string must be a registered knob.
+//! Linted as `crates/graph/src/hl005.rs`.
+
+pub fn positive() -> &'static str {
+    "HEP_NOT_A_REAL_KNOB" //~ HL005
+}
+
+pub fn negative() -> &'static str {
+    "HEP_THREADS controls the worker count"
+}
+
+pub fn mid_identifier_is_not_a_name() -> &'static str {
+    "PREFIXHEP_THREADSX is prose, not a knob reference"
+}
+
+pub fn bare_prefix_is_not_a_name() -> &'static str {
+    "the HEP_ prefix by itself names nothing"
+}
+
+pub fn waivered() -> &'static str {
+    // hep-lint: allow(HL005) -- fixture: documents a hypothetical knob name
+    "HEP_IMAGINARY_KNOB"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_in_tests_are_fine() {
+        assert!(super::positive().starts_with("HEP_NOT"));
+        let _ = "HEP_ONLY_USED_IN_A_TEST";
+    }
+}

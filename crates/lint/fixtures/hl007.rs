@@ -1,0 +1,32 @@
+//! HL007 fixture: panic policy in library code.
+//! Linted as `crates/graph/src/hl007.rs`.
+
+pub fn positive(v: &[u32]) -> u32 {
+    *v.first().unwrap() //~ HL007
+}
+
+pub fn also_positive(v: &[u32]) -> u32 {
+    let x = v.first().expect("non-empty"); //~ HL007
+    if *x > 3 {
+        panic!("too big: {x}"); //~ HL007
+    }
+    *x
+}
+
+pub fn negative(v: &[u32]) -> u32 {
+    // The total variants carry their own fallback and are always fine.
+    v.first().copied().unwrap_or(0) + v.get(1).copied().unwrap_or_else(|| 0)
+}
+
+pub fn waivered(v: &[u32]) -> u32 {
+    // hep-lint: allow(HL007) -- fixture: the caller guarantees v is non-empty
+    *v.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

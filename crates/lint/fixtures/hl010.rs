@@ -1,0 +1,33 @@
+//! HL010 fixture: malformed waivers are themselves diagnostics.
+//! Linted as `crates/core/src/hl010.rs`.
+
+pub fn missing_reason() -> u32 {
+    // hep-lint: allow(HL007) //~ HL010
+    1
+}
+
+pub fn unknown_rule() -> u32 {
+    // hep-lint: allow(HL942) -- no such rule //~ HL010
+    2
+}
+
+pub fn empty_rule_list() -> u32 {
+    // hep-lint: allow() -- allows nothing //~ HL010
+    3
+}
+
+pub fn wrong_verb() -> u32 {
+    // hep-lint: deny(HL007) -- only allow() exists //~ HL010
+    4
+}
+
+pub fn negative() -> u32 {
+    // hep-lint: allow(HL007) -- a well-formed waiver with a reason is silent
+    5
+}
+
+pub fn prose_negative() -> u32 {
+    // See hep-lint's DESIGN.md section: prose that merely mentions the
+    // tool is not a waiver attempt.
+    6
+}

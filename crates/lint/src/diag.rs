@@ -1,0 +1,203 @@
+//! Diagnostics: stable rule identifiers, `file:line:col` rendering and the
+//! machine-readable `--json` form.
+
+use std::fmt;
+
+/// The stable rule catalogue. IDs are append-only: a rule may be retired
+/// but its number is never reused, so waivers stay meaningful across
+/// versions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Iteration over a hash-ordered container in output-affecting code.
+    Hl001,
+    /// Wall-clock reads (`Instant::now` / `SystemTime`) in output-affecting code.
+    Hl002,
+    /// `unsafe` not immediately preceded by a `// SAFETY:` comment.
+    Hl003,
+    /// Direct `env::var` outside the sanctioned env registry.
+    Hl004,
+    /// `HEP_*` environment-variable name not present in the registry.
+    Hl005,
+    /// Registered knob never referenced anywhere in the workspace.
+    Hl006,
+    /// `unwrap()` / `expect(` / `panic!` in library code without a waiver.
+    Hl007,
+    /// Bench source not registered in the facade `Cargo.toml` (or vice versa).
+    Hl008,
+    /// Bench `Report` name without a matching `BENCH_<name>.json` (or vice versa).
+    Hl009,
+    /// Malformed or unknown-rule waiver comment.
+    Hl010,
+}
+
+/// All rules, in catalogue order.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::Hl001,
+    Rule::Hl002,
+    Rule::Hl003,
+    Rule::Hl004,
+    Rule::Hl005,
+    Rule::Hl006,
+    Rule::Hl007,
+    Rule::Hl008,
+    Rule::Hl009,
+    Rule::Hl010,
+];
+
+impl Rule {
+    /// The stable textual ID, e.g. `"HL001"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Hl001 => "HL001",
+            Rule::Hl002 => "HL002",
+            Rule::Hl003 => "HL003",
+            Rule::Hl004 => "HL004",
+            Rule::Hl005 => "HL005",
+            Rule::Hl006 => "HL006",
+            Rule::Hl007 => "HL007",
+            Rule::Hl008 => "HL008",
+            Rule::Hl009 => "HL009",
+            Rule::Hl010 => "HL010",
+        }
+    }
+
+    /// Parses a textual ID back into a rule.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.id() == id)
+    }
+
+    /// One-line description used in `--help`-style output and DESIGN.md.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::Hl001 => "hash-ordered iteration in output-affecting code",
+            Rule::Hl002 => "wall-clock read in output-affecting code",
+            Rule::Hl003 => "unsafe without an immediately preceding SAFETY comment",
+            Rule::Hl004 => "environment read bypassing hep_core::config::env_registry",
+            Rule::Hl005 => "HEP_* name not present in the env registry",
+            Rule::Hl006 => "registered env knob never referenced in the workspace",
+            Rule::Hl007 => "unwrap/expect/panic! in library code without a waiver",
+            Rule::Hl008 => "bench file and facade Cargo.toml [[bench]] list disagree",
+            Rule::Hl009 => "bench Report name and BENCH_*.json artifacts disagree",
+            Rule::Hl010 => "malformed hep-lint waiver comment",
+        }
+    }
+}
+
+/// One finding: where, which rule, and a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (`/`-separated on every platform).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Explanation, specific to the site.
+    pub msg: String,
+}
+
+impl Diagnostic {
+    /// Sort key giving a deterministic report order.
+    pub fn sort_key(&self) -> (String, u32, u32, Rule) {
+        (self.file.clone(), self.line, self.col, self.rule)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}: {}: {}", self.file, self.line, self.col, self.rule.id(), self.msg)
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full diagnostic list as a stable JSON document. Hand-rolled
+/// because the container is offline (no serde); the schema is small and
+/// covered by tests.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            d.col,
+            d.rule.id(),
+            json_escape(&d.msg)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"count\": {}\n}}\n", diags.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for &r in ALL_RULES {
+            assert_eq!(Rule::from_id(r.id()), Some(r));
+        }
+        assert_eq!(Rule::from_id("HL999"), None);
+        assert_eq!(Rule::from_id("hl001"), None, "IDs are case-sensitive");
+    }
+
+    #[test]
+    fn display_is_clickable() {
+        let d = Diagnostic {
+            file: "crates/core/src/hep.rs".into(),
+            line: 12,
+            col: 5,
+            rule: Rule::Hl007,
+            msg: "`.unwrap()` in library code".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/hep.rs:12:5: HL007: `.unwrap()` in library code"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let diags = vec![Diagnostic {
+            file: "a.rs".into(),
+            line: 1,
+            col: 2,
+            rule: Rule::Hl005,
+            msg: "name \"HEP_X\"\nnot registered".into(),
+        }];
+        let json = to_json(&diags);
+        assert!(json.contains("\\\"HEP_X\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"count\": 1"));
+        let empty = to_json(&[]);
+        assert!(empty.contains("\"count\": 0"));
+        assert!(empty.contains("\"diagnostics\": []"));
+    }
+}

@@ -1,0 +1,38 @@
+//! The linter's ultimate fixture is the repository itself: the workspace
+//! must lint clean on every run. A new violation either gets fixed or
+//! gets an explicit, reasoned waiver — silently accumulating debt is not
+//! an option the build offers.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let ws = hep_lint::load_workspace(&root).expect("load workspace sources");
+    assert!(ws.files.len() > 50, "workspace walk found only {} files", ws.files.len());
+    let diags = hep_lint::lint(&ws);
+    assert!(
+        diags.is_empty(),
+        "hep-lint found {} violation(s) — fix them or add a reasoned `hep-lint: allow(...)` waiver:\n{}",
+        diags.len(),
+        diags.iter().map(|d| format!("  {d}\n")).collect::<String>()
+    );
+}
+
+#[test]
+fn workspace_scan_is_deterministic() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let ws = hep_lint::load_workspace(&root).expect("load workspace sources");
+    let paths: Vec<&String> = ws.files.iter().map(|f| &f.path).collect();
+    let mut sorted = paths.clone();
+    sorted.sort();
+    assert_eq!(paths, sorted, "scan order must be path-sorted");
+    assert!(
+        !paths.iter().any(|p| p.starts_with("crates/lint/fixtures/")),
+        "fixture corpus must stay out of the workspace scan"
+    );
+    assert!(
+        paths.iter().any(|p| p.as_str() == "crates/ds/src/env_registry.rs"),
+        "registry source must be in the scan"
+    );
+}

@@ -51,8 +51,16 @@ fn track_dealloc(size: usize) {
 /// Counting wrapper around the system allocator.
 pub struct CountingAlloc;
 
+// SAFETY: pure pass-through to the `System` allocator — every pointer
+// handed out or accepted is exactly `System`'s, so `GlobalAlloc`'s layout
+// and liveness contract is inherited unchanged; the added counter updates
+// are lock-free atomics and cannot allocate or unwind.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY (to call): inherited from `GlobalAlloc::alloc` — the caller
+    // supplies a valid non-zero-size `layout`, which is forwarded intact.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: `layout` is the caller's, unmodified; `System.alloc`'s
+        // own contract is exactly our caller's obligation.
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             track_alloc(layout.size());
@@ -60,12 +68,19 @@ unsafe impl GlobalAlloc for CountingAlloc {
         p
     }
 
+    // SAFETY (to call): inherited — `ptr` must come from this allocator
+    // with this `layout`, which is `System`'s own requirement.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` are forwarded from our caller, whose
+        // obligation matches `System.dealloc`'s exactly.
         unsafe { System.dealloc(ptr, layout) };
         track_dealloc(layout.size());
     }
 
+    // SAFETY (to call): inherited — `ptr` was allocated here with
+    // `layout`, and `new_size` is non-zero; all three are forwarded.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: arguments forwarded verbatim; the contract is the same.
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             if new_size >= layout.size() {

@@ -79,6 +79,7 @@ impl PartitionMetrics {
             acc
         });
         if shards.len() == 1 {
+            // hep-lint: allow(HL007) -- guarded by the len() == 1 check on the previous line
             return shards.into_iter().next().expect("one shard");
         }
         let mut merged = PartitionMetrics::new(k, num_vertices);
@@ -164,6 +165,7 @@ impl PartitionMetrics {
         if self.total_edges == 0 {
             return 0.0;
         }
+        // hep-lint: allow(HL007) -- constructors reject k == 0, so edge_counts is non-empty
         let max = *self.edge_counts.iter().max().expect("k >= 1");
         max as f64 * self.k as f64 / self.total_edges as f64
     }

@@ -95,8 +95,14 @@ pub fn validate_assignment(
                 }
             }
         }
-        let leftover =
-            expect.iter().find(|(_, &c)| c != 0).map(|(e, _)| format!("edge {e:?} never assigned"));
+        // Report the smallest offending edge so the message is stable
+        // across hasher layouts, not whichever the map yields first.
+        let leftover = expect
+            .iter() // hep-lint: allow(HL001) -- reduced with min(); the result is independent of iteration order
+            .filter(|&(_, &c)| c != 0)
+            .map(|(e, _)| *e)
+            .min_by_key(|e| (e.src, e.dst))
+            .map(|e| format!("edge {e:?} never assigned"));
         (None, leftover)
     });
     if let Some(err) = verdicts.iter().find_map(|(scan, _)| scan.clone()) {

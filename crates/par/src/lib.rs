@@ -29,6 +29,7 @@
 //! sizes in the tens of thousands of items; callers with tiny inputs fall
 //! back to inline serial execution automatically.
 
+use hep_ds::sync;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -36,12 +37,12 @@ use std::sync::Mutex;
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
 fn default_threads() -> usize {
-    match std::env::var("HEP_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
+    match hep_ds::env_registry::read("HEP_THREADS") {
+        Some(v) => match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
             _ => available(),
         },
-        Err(_) => available(),
+        None => available(),
     }
 }
 
@@ -143,7 +144,7 @@ impl Pool {
                             break;
                         }
                         let r = f(i);
-                        *slots[i].lock().expect("result slot poisoned") = Some(r);
+                        *sync::lock(&slots[i]) = Some(r);
                     })
                 })
                 .collect();
@@ -155,7 +156,8 @@ impl Pool {
         });
         slots
             .into_iter()
-            .map(|s| s.into_inner().expect("result slot poisoned").expect("task ran"))
+            // hep-lint: allow(HL007) -- the scope joined all workers, and workers only exit the fetch_add loop once every index < tasks is claimed and stored
+            .map(|s| sync::into_inner(s).expect("task ran"))
             .collect()
     }
 
@@ -199,7 +201,7 @@ impl Pool {
                             }
                             f(&mut state, i);
                         }
-                        states.lock().expect("state vec poisoned").push(state);
+                        sync::lock(&states).push(state);
                     })
                 })
                 .collect();
@@ -209,7 +211,7 @@ impl Pool {
                 }
             }
         });
-        states.into_inner().expect("state vec poisoned")
+        sync::into_inner(states)
     }
 
     /// Maps every task in parallel, then folds the partial results **in
@@ -296,11 +298,11 @@ impl Pool {
                 scope.spawn(|| loop {
                     start.wait();
                     {
-                        let r = round.read().expect("round lock");
+                        let r = sync::read(&round);
                         if r.done {
                             break;
                         }
-                        let guard = state_lock.read().expect("state lock");
+                        let guard = sync::read(&state_lock);
                         let s: &S = &guard;
                         loop {
                             let i = r.next.fetch_add(1, Ordering::Relaxed);
@@ -314,10 +316,10 @@ impl Pool {
                                 work(s, &r.tasks[i])
                             })) {
                                 Ok(u) => {
-                                    *r.slots[i].lock().expect("result slot") = Some(u);
+                                    *sync::lock(&r.slots[i]) = Some(u);
                                 }
                                 Err(payload) => {
-                                    panicked.lock().expect("panic slot").get_or_insert(payload);
+                                    sync::lock(&panicked).get_or_insert(payload);
                                 }
                             }
                         }
@@ -328,13 +330,13 @@ impl Pool {
             let mut results: Vec<U> = Vec::new();
             loop {
                 let next_tasks = {
-                    let mut guard = state_lock.write().expect("state lock");
+                    let mut guard = sync::write(&state_lock);
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         plan(*guard, std::mem::take(&mut results))
                     })) {
                         Ok(t) => t,
                         Err(payload) => {
-                            panicked.lock().expect("panic slot").get_or_insert(payload);
+                            sync::lock(&panicked).get_or_insert(payload);
                             None
                         }
                     }
@@ -342,25 +344,26 @@ impl Pool {
                 match next_tasks {
                     Some(tasks) if !tasks.is_empty() => {
                         {
-                            let mut r = round.write().expect("round lock");
+                            let mut r = sync::write(&round);
                             r.slots = (0..tasks.len()).map(|_| Mutex::new(None)).collect();
                             r.tasks = tasks;
                             r.next = AtomicUsize::new(0);
                         }
                         start.wait();
                         end.wait();
-                        if panicked.lock().expect("panic slot").is_some() {
-                            let mut r = round.write().expect("round lock");
+                        if sync::lock(&panicked).is_some() {
+                            let mut r = sync::write(&round);
                             r.done = true;
                             drop(r);
                             start.wait();
                             break;
                         }
-                        let mut r = round.write().expect("round lock");
+                        let mut r = sync::write(&round);
                         results = r
                             .slots
                             .drain(..)
-                            .map(|s| s.into_inner().expect("result slot").expect("task ran"))
+                            // hep-lint: allow(HL007) -- both barriers passed with no parked panic, so every round slot was filled before the drain
+                            .map(|s| sync::into_inner(s).expect("task ran"))
                             .collect();
                     }
                     Some(_) => {
@@ -369,7 +372,7 @@ impl Pool {
                         results = Vec::new();
                     }
                     None => {
-                        let mut r = round.write().expect("round lock");
+                        let mut r = sync::write(&round);
                         r.done = true;
                         drop(r);
                         start.wait();
@@ -378,7 +381,7 @@ impl Pool {
                 }
             }
         });
-        if let Some(payload) = panicked.into_inner().expect("panic slot") {
+        if let Some(payload) = sync::into_inner(panicked) {
             std::panic::resume_unwind(payload);
         }
     }
@@ -435,7 +438,7 @@ where
         rest = tail;
     }
     Pool::current().par_for_each(slices.len(), |i| {
-        let mut slice = slices[i].lock().expect("chunk slice poisoned");
+        let mut slice = sync::lock(&slices[i]);
         f(i, &mut slice);
     });
 }
