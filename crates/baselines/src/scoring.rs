@@ -56,6 +56,7 @@ impl ReplicaState {
     /// Whether `v` has a replica on `p`.
     #[inline]
     pub fn is_replicated(&self, v: VertexId, p: PartitionId) -> bool {
+        debug_assert!(p < self.k, "partition id {p} out of range (k = {})", self.k);
         self.replicas[p as usize].get(v)
     }
 
@@ -63,12 +64,14 @@ impl ReplicaState {
     /// from NE++'s secondary sets).
     #[inline]
     pub fn add_replica(&mut self, v: VertexId, p: PartitionId) {
+        debug_assert!(p < self.k, "partition id {p} out of range (k = {})", self.k);
         self.replicas[p as usize].set(v);
     }
 
     /// Current edge count of `p`.
     #[inline]
     pub fn load(&self, p: PartitionId) -> u64 {
+        debug_assert!(p < self.k, "partition id {p} out of range (k = {})", self.k);
         self.loads[p as usize]
     }
 
@@ -78,12 +81,14 @@ impl ReplicaState {
     /// assigns to the least-loaded one, so loads keep growing past `cap` and
     /// a wrap near `u64::MAX` would silently reset the balance state.
     pub fn add_load(&mut self, p: PartitionId, load: u64) {
+        debug_assert!(p < self.k, "partition id {p} out of range (k = {})", self.k);
         self.loads[p as usize] = self.loads[p as usize].saturating_add(load);
     }
 
     /// Records the assignment of `(u, v)` to `p`.
     #[inline]
     pub fn assign(&mut self, u: VertexId, v: VertexId, p: PartitionId) {
+        debug_assert!(p < self.k, "partition id {p} out of range (k = {})", self.k);
         self.replicas[p as usize].set(u);
         self.replicas[p as usize].set(v);
         self.loads[p as usize] = self.loads[p as usize].saturating_add(1);
@@ -263,6 +268,7 @@ impl SparseReplicas {
     /// Ascending partition ids replicating `v`.
     #[inline]
     pub fn parts_of(&self, v: VertexId) -> &[u32] {
+        debug_assert!(v < self.num_vertices(), "vertex id {v} out of range");
         let s = self.start[v as usize] as usize;
         &self.parts[s..s + self.len[v as usize] as usize]
     }
@@ -287,6 +293,7 @@ impl SparseReplicas {
     /// Inserts a replica of `v` on `p`, keeping the row sorted. Returns
     /// `true` if the replica is new.
     pub fn add_replica(&mut self, v: VertexId, p: PartitionId) -> bool {
+        debug_assert!(v < self.num_vertices(), "vertex id {v} out of range");
         let vi = v as usize;
         let s = self.start[vi] as usize;
         let l = self.len[vi] as usize;

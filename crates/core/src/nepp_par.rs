@@ -77,9 +77,14 @@ impl SubGraph {
             let d = if csr.is_high(v) { 0 } else { csr.valid_degree(v) };
             index[v as usize + 1] = index[v as usize] + d as u64;
         }
+        debug_assert!(index.len() == n as usize + 1, "prefix-sum array has n + 1 entries");
         let total = index[n as usize] as usize;
         let mut adj = vec![0u32; total];
         let mut cursor: Vec<u64> = index[..n as usize].to_vec();
+        debug_assert!(
+            adj.len() == total && cursor.len() == n as usize,
+            "insertion cursors stay within the prefix-sum bounds"
+        );
         let mut edges: Vec<Edge> = Vec::with_capacity(csr.num_inmem_edges() as usize);
         for v in 0..n {
             if csr.is_high(v) {
@@ -275,6 +280,7 @@ impl SubExpansion {
         self.in_s.set(v);
         let mut dext = 0u64;
         let (a, b) = (g.index[v as usize] as usize, g.index[v as usize + 1] as usize);
+        debug_assert!(a <= b && b <= g.adj.len(), "index is a prefix sum over adj");
         for &id in &g.adj[a..b] {
             if claimed.get(id) || self.overlay.get(id) {
                 continue;
@@ -443,6 +449,10 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
             let deg_ref = &ungranted_deg;
             let proposals: Vec<(u32, Vec<u32>)> = pool.par_map(active.len(), |i| {
                 let p = active[i];
+                debug_assert!(
+                    p < s && (p as usize) < sub_caps.len(),
+                    "active holds sub-partition ids below s"
+                );
                 let cap = if cap_phase { sub_caps[p as usize] } else { u64::MAX };
                 let mut st = hep_ds::sync::lock(&states_ref[p as usize]);
                 (p, st.expand_round(g_ref, high, claimed_ref, deg_ref, cap, batch))
@@ -475,6 +485,11 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
                         granted[p as usize].push(id);
                         granted_total += 1;
                         let e = g.edges[id as usize];
+                        debug_assert!(
+                            (e.src as usize) < ungranted_deg.len()
+                                && (e.dst as usize) < ungranted_deg.len(),
+                            "edge endpoints are vertex ids below n"
+                        );
                         ungranted_deg[e.src as usize] =
                             ungranted_deg[e.src as usize].saturating_sub(1);
                         ungranted_deg[e.dst as usize] =
@@ -697,6 +712,10 @@ pub fn run_nepp_par<S: AssignSink + ?Sized>(
         // Stable re-bucketing: ids keep their relative order from the
         // unrefined sequence within their (possibly new) part.
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); k as usize];
+        debug_assert!(
+            owner.iter().all(|&p| (p as usize) < buckets.len()),
+            "refinement keeps every owner within 0..k"
+        );
         for &id in &emit_seq {
             buckets[owner[id as usize] as usize].push(id);
         }

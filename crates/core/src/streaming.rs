@@ -161,6 +161,10 @@ impl LoadTracker {
     /// integer limit on adversarial inputs; a wrap would reset the balance
     /// ordering mid-stream).
     fn increment(&mut self, p: u32) {
+        debug_assert!(
+            (p as usize) < self.loads.len() && self.by_load.len() == self.loads.len(),
+            "partition id {p} out of range"
+        );
         let l = self.loads[p as usize];
         let nl = l.saturating_add(1);
         if nl != l {

@@ -40,15 +40,23 @@ impl DenseBitset {
     /// Sets bit `idx`. Panics if `idx >= capacity`.
     #[inline]
     pub fn set(&mut self, idx: u32) {
-        debug_assert!((idx as usize) < self.capacity, "bit index out of range");
-        self.words[idx as usize >> 6] |= 1u64 << (idx & 63);
+        let w = idx as usize >> 6;
+        debug_assert!(
+            (idx as usize) < self.capacity && w < self.words.len(),
+            "bit index out of range"
+        );
+        self.words[w] |= 1u64 << (idx & 63);
     }
 
     /// Clears bit `idx`. Panics if `idx >= capacity`.
     #[inline]
     pub fn clear(&mut self, idx: u32) {
-        debug_assert!((idx as usize) < self.capacity, "bit index out of range");
-        self.words[idx as usize >> 6] &= !(1u64 << (idx & 63));
+        let w = idx as usize >> 6;
+        debug_assert!(
+            (idx as usize) < self.capacity && w < self.words.len(),
+            "bit index out of range"
+        );
+        self.words[w] &= !(1u64 << (idx & 63));
     }
 
     /// Returns whether bit `idx` is set.
@@ -62,6 +70,10 @@ impl DenseBitset {
     #[inline]
     pub fn insert(&mut self, idx: u32) -> bool {
         let w = idx as usize >> 6;
+        debug_assert!(
+            (idx as usize) < self.capacity && w < self.words.len(),
+            "bit index out of range"
+        );
         let mask = 1u64 << (idx & 63);
         let fresh = self.words[w] & mask == 0;
         self.words[w] |= mask;

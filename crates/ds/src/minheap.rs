@@ -43,17 +43,20 @@ impl IndexedMinHeap {
     /// Whether `id` is present.
     #[inline]
     pub fn contains(&self, id: u32) -> bool {
+        debug_assert!((id as usize) < self.pos.len(), "id {id} beyond heap capacity");
         self.pos[id as usize] != NOT_IN_HEAP
     }
 
     /// Current key of `id`, if present.
     pub fn key_of(&self, id: u32) -> Option<u64> {
+        debug_assert!((id as usize) < self.pos.len(), "id {id} beyond heap capacity");
         let p = self.pos[id as usize];
         (p != NOT_IN_HEAP).then(|| self.slots[p as usize].0)
     }
 
     /// Inserts `id` with `key`. Panics if `id` is already present.
     pub fn insert(&mut self, id: u32, key: u64) {
+        debug_assert!((id as usize) < self.pos.len(), "id {id} beyond heap capacity");
         assert!(!self.contains(id), "id {id} already in heap");
         let slot = self.slots.len();
         self.slots.push((key, id));
@@ -63,6 +66,7 @@ impl IndexedMinHeap {
 
     /// Updates the key of `id` (up or down), inserting it if absent.
     pub fn update(&mut self, id: u32, key: u64) {
+        debug_assert!((id as usize) < self.pos.len(), "id {id} beyond heap capacity");
         let p = self.pos[id as usize];
         if p == NOT_IN_HEAP {
             self.insert(id, key);
@@ -81,6 +85,7 @@ impl IndexedMinHeap {
     /// Decreases the key of `id` by `delta`, saturating at zero.
     /// No-op when `id` is absent (e.g. a high-degree vertex in NE++).
     pub fn decrease_key_by(&mut self, id: u32, delta: u64) {
+        debug_assert!((id as usize) < self.pos.len(), "id {id} beyond heap capacity");
         let p = self.pos[id as usize];
         if p == NOT_IN_HEAP {
             return;
@@ -115,6 +120,7 @@ impl IndexedMinHeap {
 
     /// Removes `id` from the heap if present; returns its key.
     pub fn remove(&mut self, id: u32) -> Option<u64> {
+        debug_assert!((id as usize) < self.pos.len(), "id {id} beyond heap capacity");
         let p = self.pos[id as usize];
         if p == NOT_IN_HEAP {
             return None;

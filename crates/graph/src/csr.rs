@@ -35,10 +35,15 @@ impl Csr {
         for i in 1..=n {
             index[i] += index[i - 1];
         }
+        debug_assert!(index.len() == n + 1, "prefix-sum array has n + 1 entries");
         let total = index[n] as usize;
         let mut col = vec![0u32; total];
         let mut eid = vec![0u32; total];
         let mut cursor = index.clone();
+        debug_assert!(
+            col.len() == total && eid.len() == total && cursor.len() == index.len(),
+            "insertion cursors stay within the prefix-sum bounds"
+        );
         for (id, e) in graph.edges.iter().enumerate() {
             let cs = cursor[e.src as usize] as usize;
             col[cs] = e.dst;
@@ -67,17 +72,20 @@ impl Csr {
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> u32 {
+        debug_assert!(v < self.num_vertices(), "vertex id {v} out of range");
         (self.index[v as usize + 1] - self.index[v as usize]) as u32
     }
 
     /// Neighbours of `v`.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        debug_assert!(v < self.num_vertices(), "vertex id {v} out of range");
         &self.col[self.index[v as usize] as usize..self.index[v as usize + 1] as usize]
     }
 
     /// `(neighbor, edge_id)` pairs of `v`.
     pub fn neighbors_with_eids(&self, v: VertexId) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        debug_assert!(v < self.num_vertices(), "vertex id {v} out of range");
         let lo = self.index[v as usize] as usize;
         let hi = self.index[v as usize + 1] as usize;
         self.col[lo..hi].iter().copied().zip(self.eid[lo..hi].iter().copied())

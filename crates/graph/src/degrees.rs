@@ -85,6 +85,7 @@ impl DegreeStats {
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: u32) -> u32 {
+        debug_assert!((v as usize) < self.degrees.len(), "vertex id {v} out of range");
         self.degrees[v as usize]
     }
 

@@ -520,24 +520,28 @@ impl PrunedCsr {
     /// `(start, len)` of the valid out-list of `v` in the column array.
     #[inline]
     pub fn out_bounds(&self, v: VertexId) -> (u64, u32) {
+        debug_assert!(v < self.num_vertices(), "vertex id {v} out of range");
         (self.index_out[v as usize], self.out_size[v as usize])
     }
 
     /// `(start, len)` of the valid in-list of `v` in the column array.
     #[inline]
     pub fn in_bounds(&self, v: VertexId) -> (u64, u32) {
+        debug_assert!(v < self.num_vertices(), "vertex id {v} out of range");
         (self.index_in[v as usize], self.in_size[v as usize])
     }
 
     /// Column array entry at absolute position `idx`.
     #[inline]
     pub fn col(&self, idx: u64) -> VertexId {
+        debug_assert!((idx as usize) < self.col.len(), "column position {idx} out of range");
         self.col[idx as usize]
     }
 
     /// Number of valid (unassigned) entries in `v`'s adjacency list.
     #[inline]
     pub fn valid_degree(&self, v: VertexId) -> u32 {
+        debug_assert!(v < self.num_vertices(), "vertex id {v} out of range");
         self.out_size[v as usize] + self.in_size[v as usize]
     }
 
@@ -545,6 +549,7 @@ impl PrunedCsr {
     /// valid out-entry of `v` and shrink the size field. O(1).
     #[inline]
     pub fn swap_remove_out(&mut self, v: VertexId, offset: u32) {
+        debug_assert!(v < self.num_vertices(), "vertex id {v} out of range");
         let start = self.index_out[v as usize];
         let size = &mut self.out_size[v as usize];
         debug_assert!(offset < *size);
@@ -555,6 +560,7 @@ impl PrunedCsr {
     /// Lazy removal of the in-entry at `offset` of `v`. O(1).
     #[inline]
     pub fn swap_remove_in(&mut self, v: VertexId, offset: u32) {
+        debug_assert!(v < self.num_vertices(), "vertex id {v} out of range");
         let start = self.index_in[v as usize];
         let size = &mut self.in_size[v as usize];
         debug_assert!(offset < *size);
@@ -565,12 +571,20 @@ impl PrunedCsr {
     /// Valid out-neighbours of `v` (test/diagnostic convenience).
     pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
         let (s, n) = self.out_bounds(v);
+        debug_assert!(
+            s + n as u64 <= self.col.len() as u64,
+            "adjacency range within the column array"
+        );
         &self.col[s as usize..(s + n as u64) as usize]
     }
 
     /// Valid in-neighbours of `v` (test/diagnostic convenience).
     pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
         let (s, n) = self.in_bounds(v);
+        debug_assert!(
+            s + n as u64 <= self.col.len() as u64,
+            "adjacency range within the column array"
+        );
         &self.col[s as usize..(s + n as u64) as usize]
     }
 

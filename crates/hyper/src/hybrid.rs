@@ -155,6 +155,7 @@ impl HybridHyper {
             }
         }
         // Remainder (capacity rounding): least-loaded placement.
+        debug_assert!(state.loads.len() == k as usize, "one load counter per partition");
         for &e in inmem {
             if !assigned.get(e) {
                 // hep-lint: allow(HL007) -- partition() rejects k == 0, so the range is non-empty

@@ -92,6 +92,10 @@ impl HyperMetrics {
 
     /// Records hyperedge `pins` on partition `p`.
     pub fn assign(&mut self, pins: &[VertexId], p: PartitionId) {
+        debug_assert!(
+            (p as usize) < self.covered.len() && (p as usize) < self.sizes.len(),
+            "partition id {p} out of range"
+        );
         for &v in pins {
             self.covered[p as usize].set(v);
         }

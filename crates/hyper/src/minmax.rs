@@ -59,6 +59,10 @@ impl HyperReplicaState {
     }
 
     pub fn assign(&mut self, pins: &[u32], p: PartitionId) {
+        debug_assert!(
+            (p as usize) < self.replicas.len() && (p as usize) < self.loads.len(),
+            "partition id {p} out of range"
+        );
         for &v in pins {
             self.replicas[p as usize].set(v);
         }

@@ -1,0 +1,44 @@
+//! HL011 fixture: panic reachability through the workspace call graph.
+//! Direct panics are HL007's job; HL011 fires when a *public* fn reaches
+//! one transitively, or feeds a parameter into an unguarded slice index.
+
+fn inner(v: &[u32]) -> u32 {
+    v.first().unwrap() //~ HL007
+}
+
+pub fn outer(v: &[u32]) -> u32 { //~ HL011
+    inner(v)
+}
+
+pub fn direct(v: &[u32]) -> u32 {
+    v.first().unwrap() //~ HL007
+}
+
+pub fn row(data: &[u32], i: usize) -> u32 {
+    data[i] //~ HL011
+}
+
+fn pick(xs: &[u32], j: usize) -> u32 {
+    xs[j] //~ HL011
+}
+
+pub fn chooser(xs: &[u32], j: usize) -> u32 {
+    pick(xs, j)
+}
+
+pub fn safe_row(data: &[u32], i: usize) -> u32 {
+    if i < data.len() {
+        data[i]
+    } else {
+        0
+    }
+}
+
+fn inner_waived(v: &[u32]) -> u32 {
+    // hep-lint: allow(HL007) -- caller pushed a sentinel, the slice is never empty
+    v.first().unwrap()
+}
+
+pub fn outer_waived(v: &[u32]) -> u32 {
+    inner_waived(v)
+}

@@ -1,0 +1,19 @@
+//! Negative fixture: visible bounds guards make parameter-derived slice
+//! indexing safe — HL011 must stay silent on every line here.
+
+pub fn bounded(data: &[u32], i: usize) -> u32 {
+    if i < data.len() {
+        data[i]
+    } else {
+        0
+    }
+}
+
+pub fn via_get(data: &[u32], i: usize) -> u32 {
+    data.get(i).copied().unwrap_or(0)
+}
+
+pub fn asserted(data: &[u32], i: usize) -> u32 {
+    assert!(i < data.len());
+    data[i]
+}

@@ -1,0 +1,55 @@
+//! HL012 fixture: untrusted header bytes must pass a checked/total helper
+//! before sizing, indexing, or `as`-narrowing. Sanitized flows stay silent.
+
+fn narrow(buf: &[u8]) -> u16 {
+    let n = u32_le_at(buf, 0);
+    n as u16 //~ HL012
+}
+
+fn widen_is_fine(buf: &[u8]) -> u64 {
+    let n = u32_le_at(buf, 0);
+    n as u64
+}
+
+fn capacity(buf: &[u8]) -> Vec<u64> {
+    let n = u64_le_at(buf, 8);
+    Vec::with_capacity(n) //~ HL012
+}
+
+fn filled(buf: &[u8]) -> Vec<u8> {
+    let n = u64_le_at(buf, 0);
+    vec![0u8; n] //~ HL012
+}
+
+fn index(buf: &[u8], table: &[u32]) -> u32 {
+    let k = u32_le_at(buf, 4);
+    table[k] //~ HL012
+}
+
+fn lookup(table: &[u32], idx: usize) -> u32 {
+    table[idx] //~ HL012
+}
+
+fn decode(buf: &[u8], table: &[u32]) -> u32 {
+    let k = u32_le_at(buf, 0);
+    lookup(table, k)
+}
+
+fn checked_narrow(buf: &[u8]) -> u16 {
+    let n = u32_le_at(buf, 0);
+    u16::try_from(n).unwrap_or(0)
+}
+
+fn clamped_capacity(buf: &[u8], cap: usize) -> Vec<u8> {
+    let n = u64_le_at(buf, 8);
+    Vec::with_capacity(n.min(cap))
+}
+
+fn compared_index(buf: &[u8], table: &[u32]) -> u32 {
+    let k = u32_le_at(buf, 4);
+    if k < table.len() {
+        table[k]
+    } else {
+        0
+    }
+}

@@ -1,0 +1,26 @@
+//! Negative fixture: untrusted header bytes handled through checked/total
+//! helpers — HL012 must stay silent on every line here.
+
+fn checked_narrow(buf: &[u8]) -> u16 {
+    let n = u32_le_at(buf, 0);
+    u16::try_from(n).unwrap_or(0)
+}
+
+fn clamped_capacity(buf: &[u8], cap: usize) -> Vec<u8> {
+    let n = u64_le_at(buf, 8);
+    Vec::with_capacity(n.min(cap))
+}
+
+fn compared_index(buf: &[u8], table: &[u32]) -> u32 {
+    let k = u32_le_at(buf, 4);
+    if k < table.len() {
+        table[k]
+    } else {
+        0
+    }
+}
+
+fn wrapped_index(buf: &[u8], table: &[u32]) -> u32 {
+    let k = u32_le_at(buf, 0);
+    table[k % table.len()]
+}

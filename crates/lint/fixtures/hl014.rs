@@ -1,0 +1,36 @@
+//! HL014 fixture: `let _ =` silently discarding a `Result` or a
+//! `#[must_use]` value in library code. Macros and unit-ish returns stay
+//! silent.
+
+fn fallible() -> Result<u32, String> {
+    Ok(3)
+}
+
+#[must_use]
+fn token() -> u64 {
+    7
+}
+
+fn harmless() -> u32 {
+    4
+}
+
+pub fn swallows_workspace_result() {
+    let _ = fallible(); //~ HL014
+}
+
+pub fn swallows_must_use() {
+    let _ = token(); //~ HL014
+}
+
+pub fn swallows_std_result(tx: &std::sync::mpsc::Sender<u32>) {
+    let _ = tx.send(1); //~ HL014
+}
+
+pub fn macro_is_fine(buf: &mut String) {
+    let _ = write!(buf, "x");
+}
+
+pub fn unit_is_fine() {
+    let _ = harmless();
+}

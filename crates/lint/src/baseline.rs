@@ -1,0 +1,129 @@
+//! Baseline diff mode.
+//!
+//! `--baseline <file>` loads a previous `hep-lint.json` report and
+//! subtracts it from the current run, so CI can gate on *new* findings
+//! while a cleanup of pre-existing ones is still in flight.
+//!
+//! Matching is a multiset subtraction on `(file, rule, message)` —
+//! deliberately **not** on line/column, so baselined findings survive
+//! unrelated edits that shift code up or down. Diagnostic messages are
+//! written without line numbers for exactly this reason. If a file has
+//! three identical findings baselined and a fourth appears, exactly one
+//! is reported as new.
+//!
+//! An empty baseline (`{"diagnostics": []}`, or an empty/whitespace-only
+//! file) subtracts nothing: the run is identical to one without
+//! `--baseline`. CI self-checks this property.
+
+use crate::diag::Diagnostic;
+use crate::json::{parse, Json};
+use std::collections::HashMap;
+
+/// Parses a prior `hep-lint.json` report into baseline keys.
+///
+/// Returns the multiset of `(file, rule-id, message)` triples, or an
+/// error describing why the file is not a valid report. Unknown rule IDs
+/// are kept verbatim — a baseline written by a newer hep-lint must not
+/// make an older one fail.
+pub fn parse_baseline(src: &str) -> Result<Vec<(String, String, String)>, String> {
+    if src.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    let v = parse(src).map_err(|e| format!("not valid JSON: {e}"))?;
+    let diags = v
+        .get("diagnostics")
+        .and_then(Json::as_arr)
+        .ok_or("missing `diagnostics` array (expected a hep-lint --json report)")?;
+    let mut keys = Vec::with_capacity(diags.len());
+    for (i, d) in diags.iter().enumerate() {
+        let field = |name: &str| {
+            d.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or(format!("diagnostic {i}: missing string field `{name}`"))
+        };
+        keys.push((field("file")?, field("rule")?, field("message")?));
+    }
+    Ok(keys)
+}
+
+/// Removes from `diags` every finding matched by the baseline multiset.
+///
+/// Each baseline entry cancels at most one current diagnostic; survivors
+/// are the *new* findings. Order of the surviving diagnostics is
+/// preserved.
+pub fn subtract(diags: Vec<Diagnostic>, baseline: &[(String, String, String)]) -> Vec<Diagnostic> {
+    let mut budget: HashMap<(&str, &str, &str), usize> = HashMap::new();
+    for (f, r, m) in baseline {
+        *budget.entry((f.as_str(), r.as_str(), m.as_str())).or_insert(0) += 1;
+    }
+    let keep: Vec<bool> = diags
+        .iter()
+        .map(|d| match budget.get_mut(&(d.file.as_str(), d.rule.id(), d.msg.as_str())) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                false
+            }
+            _ => true,
+        })
+        .collect();
+    let mut it = keep.into_iter();
+    diags.into_iter().filter(|_| it.next().unwrap_or(true)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Rule;
+
+    fn d(file: &str, line: u32, rule: Rule, msg: &str) -> Diagnostic {
+        Diagnostic { file: file.into(), line, col: 1, rule, msg: msg.into() }
+    }
+
+    #[test]
+    fn empty_baseline_subtracts_nothing() {
+        assert_eq!(parse_baseline("").unwrap(), vec![]);
+        assert_eq!(parse_baseline("  \n").unwrap(), vec![]);
+        let empty = parse_baseline("{\"diagnostics\": [], \"count\": 0}\n").unwrap();
+        let diags = vec![d("a.rs", 1, Rule::Hl007, "x")];
+        assert_eq!(subtract(diags.clone(), &empty), diags);
+    }
+
+    #[test]
+    fn matching_ignores_line_drift_and_is_a_multiset() {
+        let report = crate::diag::to_json(&[
+            d("a.rs", 10, Rule::Hl007, "unwrap in library"),
+            d("a.rs", 20, Rule::Hl007, "unwrap in library"),
+        ]);
+        let base = parse_baseline(&report).unwrap();
+        // Same findings, shifted lines: all cancelled.
+        let shifted = vec![
+            d("a.rs", 15, Rule::Hl007, "unwrap in library"),
+            d("a.rs", 25, Rule::Hl007, "unwrap in library"),
+        ];
+        assert!(subtract(shifted, &base).is_empty());
+        // A third identical finding: exactly one survives.
+        let three = vec![
+            d("a.rs", 1, Rule::Hl007, "unwrap in library"),
+            d("a.rs", 2, Rule::Hl007, "unwrap in library"),
+            d("a.rs", 3, Rule::Hl007, "unwrap in library"),
+        ];
+        assert_eq!(subtract(three, &base).len(), 1);
+    }
+
+    #[test]
+    fn different_file_rule_or_message_is_new() {
+        let base =
+            parse_baseline(&crate::diag::to_json(&[d("a.rs", 1, Rule::Hl007, "m")])).unwrap();
+        assert_eq!(subtract(vec![d("b.rs", 1, Rule::Hl007, "m")], &base).len(), 1);
+        assert_eq!(subtract(vec![d("a.rs", 1, Rule::Hl001, "m")], &base).len(), 1);
+        assert_eq!(subtract(vec![d("a.rs", 1, Rule::Hl007, "other")], &base).len(), 1);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(parse_baseline("not json").is_err());
+        assert!(parse_baseline("{\"nope\": 1}").is_err());
+        assert!(parse_baseline("{\"diagnostics\": [{\"file\": 3}]}").is_err());
+    }
+}

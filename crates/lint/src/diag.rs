@@ -28,6 +28,20 @@ pub enum Rule {
     Hl009,
     /// Malformed or unknown-rule waiver comment.
     Hl010,
+    /// Public library API transitively reaches a panic site or an
+    /// unguarded parameter-derived slice index through workspace calls.
+    Hl011,
+    /// Untrusted data (binary headers, `bytes::*_le_at` decoders, env
+    /// reads) reaches a narrowing cast, `with_capacity`, or an index
+    /// without passing a checked/total helper.
+    Hl012,
+    /// Determinism hazard inside a closure passed to a `hep_par` entry
+    /// point: non-associative float fold, captured hash-keyed collection
+    /// mutation, or order-sensitive atomic RMW.
+    Hl013,
+    /// `let _ =` discarding a `Result` or `#[must_use]` value in library
+    /// code.
+    Hl014,
 }
 
 /// All rules, in catalogue order.
@@ -42,6 +56,10 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::Hl008,
     Rule::Hl009,
     Rule::Hl010,
+    Rule::Hl011,
+    Rule::Hl012,
+    Rule::Hl013,
+    Rule::Hl014,
 ];
 
 impl Rule {
@@ -58,6 +76,10 @@ impl Rule {
             Rule::Hl008 => "HL008",
             Rule::Hl009 => "HL009",
             Rule::Hl010 => "HL010",
+            Rule::Hl011 => "HL011",
+            Rule::Hl012 => "HL012",
+            Rule::Hl013 => "HL013",
+            Rule::Hl014 => "HL014",
         }
     }
 
@@ -79,7 +101,133 @@ impl Rule {
             Rule::Hl008 => "bench file and facade Cargo.toml [[bench]] list disagree",
             Rule::Hl009 => "bench Report name and BENCH_*.json artifacts disagree",
             Rule::Hl010 => "malformed hep-lint waiver comment",
+            Rule::Hl011 => {
+                "public API transitively reaches a panic or unguarded param-derived index"
+            }
+            Rule::Hl012 => "untrusted data reaches a narrowing cast, capacity, or index unchecked",
+            Rule::Hl013 => "determinism hazard in a closure passed to a hep_par entry point",
+            Rule::Hl014 => "`let _ =` swallows a Result or #[must_use] value in library code",
         }
+    }
+
+    /// Full rationale and waiver policy, printed by `--explain HLxxx`.
+    /// The first line is always `HLxxx — <summary>`; DESIGN.md §8 carries
+    /// the same IDs and summaries (drift-tested).
+    pub fn explain(self) -> String {
+        let body = match self {
+            Rule::Hl001 => {
+                "\
+Hash-ordered iteration in an output-affecting crate can leak memory-layout\n\
+order into the partition assignment, breaking the bit-identical-output\n\
+invariant. Collect and sort, use a BTreeMap, or iterate a stable index.\n\
+Waive only with a proof that the observed order cannot reach any output\n\
+(e.g. the values are folded with a commutative, associative operation)."
+            }
+            Rule::Hl002 => {
+                "\
+Wall-clock reads in output-affecting code can steer partitioning decisions,\n\
+making output depend on machine speed. Timing belongs in bench harnesses\n\
+and reports. Waive measurement-only sites whose readings provably never\n\
+feed back into an assignment decision."
+            }
+            Rule::Hl003 => {
+                "\
+Every `unsafe` block or function must carry its proof obligation as a\n\
+`// SAFETY:` comment trailing the line or immediately above it. There is\n\
+no waiver for this rule's spirit: write the proof. (The rule itself can be\n\
+waived for tokens like `unsafe` appearing in prose-bearing code.)"
+            }
+            Rule::Hl004 => {
+                "\
+`std::env::var` outside `hep_ds::env_registry::read` bypasses knob\n\
+registration, so the knob is invisible to bench-report provenance and the\n\
+README knob table. Read knobs through the registry. Waive only inside the\n\
+registry's own implementation or bootstrap code that provably runs before\n\
+the registry exists."
+            }
+            Rule::Hl005 => {
+                "\
+A `HEP_*` string literal that is not a registered knob is either a typo or\n\
+an undocumented knob; both undermine the env-registry contract. Register\n\
+the name in `hep_ds::env_registry::KNOBS` or fix the spelling. Waive only\n\
+for strings that merely *resemble* knob names (e.g. documentation prose)."
+            }
+            Rule::Hl006 => {
+                "\
+A registered knob that no workspace code references is dead documentation:\n\
+the README table advertises a control that does nothing. Wire the knob up\n\
+or remove the registration. Waivers are not applicable (the fix is always\n\
+one of those two)."
+            }
+            Rule::Hl007 => {
+                "\
+`unwrap()`, `expect(…)` and `panic!` in library code turn recoverable\n\
+conditions into aborts. Return a typed error, use a total helper\n\
+(`hep_ds::sync`, `hep_ds::bytes`), or waive with the one-line invariant\n\
+that makes the panic impossible (\"heap is non-empty: pushed above\")."
+            }
+            Rule::Hl008 => {
+                "\
+Every bench source must be a `[[bench]]` target in the facade Cargo.toml\n\
+and vice versa; a drifted registration silently drops a bench from CI.\n\
+Fix the manifest. Waivers are not applicable."
+            }
+            Rule::Hl009 => {
+                "\
+Each bench emits exactly one uniquely-named `Report::new(…)`; the\n\
+BENCH_<name>.json artifact name derives from it. Collisions clobber\n\
+another bench's report, orphan artifacts are stale outputs. Fix the name.\n\
+Waivers are not applicable."
+            }
+            Rule::Hl010 => {
+                "\
+A malformed waiver (bad syntax, unknown rule, missing ` -- reason`) would\n\
+silently fail to apply; that is worse than no waiver. Fix the waiver\n\
+comment. HL010 is itself unwaivable."
+            }
+            Rule::Hl011 => {
+                "\
+A public library API must not panic on caller-supplied input: neither by\n\
+transitively reaching an unwaived `unwrap`/`expect`/`panic!` through\n\
+workspace calls, nor by letting a parameter-derived value select a slice\n\
+index with no visible guard (a `len()`/`is_empty()` mention of the\n\
+receiver, a comparison/`min`/`clamp`/`%` on the index, or an assert).\n\
+Guard the index, propagate a typed error, or waive with the contract that\n\
+makes out-of-range input impossible (\"fail-fast by contract: callers\n\
+validate length\"). Waivers anchor at the reported site: the index site\n\
+for parameter flows, the public fn for transitive panics."
+            }
+            Rule::Hl012 => {
+                "\
+Values decoded from untrusted bytes (`hep_ds::bytes::u32_le_at`-style\n\
+decoders, binary-file headers) or read from the environment must pass a\n\
+checked/total step (`try_from`/`try_into`, `checked_*`, `parse`, `min`/\n\
+`clamp`, or a comparison guard) before reaching an `as` narrowing cast,\n\
+`Vec::with_capacity`/`vec![…; n]`, or a slice index. A forged header\n\
+field must produce a typed error, not a huge allocation or a wrapped\n\
+cast. Waive only when the value is provably bounded upstream of the\n\
+reported site."
+            }
+            Rule::Hl013 => {
+                "\
+Closures passed to `hep_par::{par_map, par_reduce, par_chunks, par_rounds,\n\
+par_for_each_init, …}` must keep output bit-identical at any thread\n\
+count: no non-associative float folding in a reduce, no mutation of a\n\
+captured hash-keyed collection, no order-sensitive atomic RMW (`swap`,\n\
+`compare_exchange`, `fetch_update`). Commutative RMW (`fetch_add`,\n\
+`fetch_min`) is fine. Waive with the determinism proof (\"chunk\n\
+boundaries are thread-count-invariant and the fold is chunk-ordered\")."
+            }
+            Rule::Hl014 => {
+                "\
+`let _ = …` silences the unused-Result warning and swallows the error\n\
+path. Handle the Result, propagate it, or waive with the reason the\n\
+outcome is genuinely irrelevant (\"both race outcomes converge to the\n\
+same state\"). Applies to workspace fns returning Result or marked\n\
+#[must_use], plus well-known fallible std methods."
+            }
+        };
+        format!("{} — {}\n\n{}\n", self.id(), self.summary(), body)
     }
 }
 
@@ -111,8 +259,9 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// Escapes a string for inclusion in a JSON document.
-fn json_escape(s: &str) -> String {
+/// Escapes a string for inclusion in a JSON document. Shared with the
+/// SARIF emitter.
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

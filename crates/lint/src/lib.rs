@@ -36,12 +36,17 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod diag;
+pub mod json;
+pub mod model;
 pub mod rules;
+pub mod sarif;
 pub mod scanner;
+pub mod sema;
 
 use diag::{Diagnostic, Rule};
-use rules::{FileCtx, FileScope};
+use rules::{FileCtx, FileScope, Waiver};
 use std::path::{Path, PathBuf};
 
 /// One source file handed to the engine: workspace-relative path plus
@@ -93,6 +98,8 @@ pub fn lint(ws: &Workspace) -> Vec<Diagnostic> {
     let scans: Vec<(FileScope, scanner::Scanned)> =
         ws.files.iter().map(|f| (FileScope::classify(&f.path), scanner::scan(&f.source))).collect();
 
+    let mut all_test_lines: Vec<Vec<bool>> = Vec::with_capacity(scans.len());
+    let mut all_waivers: Vec<Vec<Waiver>> = Vec::with_capacity(scans.len());
     for (scope, scanned) in &scans {
         // Collect knob usages from *all* files (compat included — the
         // PROPTEST_SEED knob is read there) except the registry itself.
@@ -107,6 +114,8 @@ pub fn lint(ws: &Workspace) -> Vec<Diagnostic> {
             registry_scanned = Some(scanned);
         }
         if scope.compat {
+            all_test_lines.push(Vec::new());
+            all_waivers.push(Vec::new());
             continue;
         }
         let test_lines = rules::test_region_lines(scanned);
@@ -116,13 +125,35 @@ pub fn lint(ws: &Workspace) -> Vec<Diagnostic> {
         }
         let ctx =
             FileCtx { scope, scanned, test_lines: &test_lines, is_registered_knob: &is_registered };
-        let mut diags = rules::check_file(&ctx);
-        diags.extend(waiver_diags);
-        out.extend(rules::apply_waivers(diags, &waivers));
+        out.extend(rules::check_file(&ctx));
+        out.extend(waiver_diags);
+        all_test_lines.push(test_lines);
+        all_waivers.push(waivers);
     }
 
     check_knob_usage(&knob_usage_text, registry_scanned, &mut out);
     check_bench_consistency(ws, &scans, &mut out);
+
+    // Pass 1 + 2: the workspace model and the flow-aware rules. A
+    // semantic diagnostic can anchor in a different file than the one
+    // whose analysis produced it (a sink reached from a public fn
+    // elsewhere), so waivers are applied globally at the end, keyed by
+    // the diagnostic's own file.
+    let m = model::Model::build(&scans, &all_test_lines);
+    out.extend(sema::check_semantic(&sema::SemaInput {
+        scans: &scans,
+        test_lines: &all_test_lines,
+        waivers: &all_waivers,
+        model: &m,
+    }));
+    let waivers_by_path: std::collections::BTreeMap<&str, &[Waiver]> =
+        scans.iter().zip(&all_waivers).map(|((s, _), w)| (s.path.as_str(), w.as_slice())).collect();
+    out.retain(|d| {
+        d.rule == Rule::Hl010
+            || !waivers_by_path.get(d.file.as_str()).is_some_and(|ws| {
+                ws.iter().any(|w| w.rules.contains(&d.rule) && w.lines.contains(&d.line))
+            })
+    });
 
     out.sort_by_key(Diagnostic::sort_key);
     out

@@ -1,0 +1,1040 @@
+//! Pass 1 of the semantic analyzer: a lightweight workspace item model.
+//!
+//! Built purely from the [`crate::scanner`] token streams — no `syn`, no
+//! type inference. The parser recognizes `fn` items (with visibility,
+//! `#[must_use]`, parameter names/types, return type and body token
+//! range), `impl`/`trait` blocks (for method ownership), inline `mod`
+//! blocks, and `use` declarations (for name resolution). Function bodies
+//! are *not* item-scanned (nested `fn`s are invisible); pass 2 walks
+//! bodies separately. Resolution limits are documented in DESIGN.md §8.
+
+use crate::rules::FileScope;
+use crate::scanner::{Scanned, Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// Index of a function in [`Model::fns`].
+pub type FnId = usize;
+
+/// One function parameter: the simple-identifier pattern name (empty for
+/// destructuring patterns) and the joined type tokens.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Binding name, or empty when the pattern is not a simple ident.
+    pub name: String,
+    /// Type tokens joined with spaces (e.g. `& [ u8 ]`).
+    pub ty: String,
+}
+
+/// One `fn` item with a body.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Index into the workspace file list.
+    pub file: usize,
+    /// Crate directory name (`ds`, `core`, …; `hep` for the facade).
+    pub crate_name: String,
+    /// Module path within the crate (file stem + inline `mod`s).
+    pub module: Vec<String>,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub self_ty: Option<String>,
+    /// Function name (raw identifiers appear as their bare name).
+    pub name: String,
+    /// Unrestricted `pub` (i.e. `pub(crate)` and friends are `false`).
+    pub is_pub: bool,
+    /// Carries a `#[must_use]` attribute.
+    pub must_use: bool,
+    /// Parsed parameters, excluding any `self` receiver.
+    pub params: Vec<Param>,
+    /// Return type tokens joined with spaces; empty for `()`.
+    pub ret: String,
+    /// 1-based line of the function name.
+    pub line: u32,
+    /// 1-based column of the function name.
+    pub col: u32,
+    /// Token index range of the body including both braces.
+    pub body: (usize, usize),
+}
+
+impl FnItem {
+    /// Human-readable qualified name, e.g. `hep_graph::pruned_csr::PrunedCsr::neighbors`.
+    pub fn display(&self) -> String {
+        let mut s = lib_name(&self.crate_name);
+        for m in &self.module {
+            s.push_str("::");
+            s.push_str(m);
+        }
+        if let Some(t) = &self.self_ty {
+            s.push_str("::");
+            s.push_str(t);
+        }
+        s.push_str("::");
+        s.push_str(&self.name);
+        s
+    }
+}
+
+/// The library name a crate directory compiles to (`ds` → `hep_ds`).
+fn lib_name(crate_name: &str) -> String {
+    if crate_name == "hep" {
+        "hep".to_string()
+    } else {
+        format!("hep_{crate_name}")
+    }
+}
+
+/// The crate directory a path head refers to, if it names a workspace
+/// crate (`hep_ds` → `ds`, `hep` → `hep`).
+fn crate_of_lib(head: &str) -> Option<String> {
+    if head == "hep" {
+        return Some("hep".to_string());
+    }
+    head.strip_prefix("hep_").map(str::to_string)
+}
+
+/// `use` aliases of one file: local name → full path segments.
+#[derive(Clone, Debug, Default)]
+pub struct FileUses {
+    /// Alias map (`bytes` → `["hep_ds", "bytes"]` for `use hep_ds::bytes;`).
+    pub aliases: BTreeMap<String, Vec<String>>,
+}
+
+/// The workspace model: all parsed functions plus lookup tables.
+#[derive(Debug, Default)]
+pub struct Model {
+    /// Every function with a body, in file-then-position order.
+    pub fns: Vec<FnItem>,
+    /// Per-file `use` aliases, indexed like the workspace file list.
+    pub file_uses: Vec<FileUses>,
+    by_name: BTreeMap<String, Vec<FnId>>,
+    by_type_method: BTreeMap<(String, String), Vec<FnId>>,
+}
+
+/// Keywords that look like call heads but are not.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "match", "while", "for", "loop", "return", "fn", "move", "in", "as", "let", "else",
+    "break", "continue", "unsafe", "where",
+];
+
+/// Method names so common in `std` (iterators, collections, Option/Result)
+/// that a workspace-unique *cross-file* match is almost certainly a
+/// coincidence. Same-file matches still win (an impl next to its call
+/// sites is deliberate); only the workspace-unique fallback is blocked.
+const STD_COMMON_METHODS: &[&str] = &[
+    "find",
+    "map",
+    "filter",
+    "filter_map",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "next",
+    "clone",
+    "as_ref",
+    "as_mut",
+    "unwrap_or",
+    "take",
+    "contains",
+    "extend",
+    "clear",
+    "sort",
+    "min",
+    "max",
+    "sum",
+    "count",
+    "rev",
+    "chain",
+    "zip",
+    "collect",
+    "any",
+    "all",
+    "fold",
+    "position",
+    "last",
+    "first",
+    "split",
+    "join",
+    "write",
+    "read",
+    "new",
+    "default",
+    "from",
+    "into",
+    "to_string",
+    "drain",
+    "retain",
+    "entry",
+    "swap",
+    "resize",
+    "reserve",
+    "eq",
+    "cmp",
+    "hash",
+    "fmt",
+    "add",
+    "then",
+    "and_then",
+    "or_else",
+];
+
+impl Model {
+    /// Builds the model from all library files of non-compat crates.
+    /// `scans` is the full workspace scan list; `test_lines[i]` marks the
+    /// `#[test]`/`#[cfg(test)]` regions of file `i` (those items are
+    /// excluded so test helpers cannot pollute method resolution).
+    pub fn build(scans: &[(FileScope, Scanned)], test_lines: &[Vec<bool>]) -> Model {
+        let mut m = Model::default();
+        for (idx, (scope, scanned)) in scans.iter().enumerate() {
+            let mut uses = FileUses::default();
+            if scope.library && !scope.compat {
+                parse_file(idx, scope, scanned, &test_lines[idx], &mut m.fns, &mut uses);
+            }
+            m.file_uses.push(uses);
+        }
+        for (id, f) in m.fns.iter().enumerate() {
+            m.by_name.entry(f.name.clone()).or_default().push(id);
+            if let Some(t) = &f.self_ty {
+                m.by_type_method.entry((t.clone(), f.name.clone())).or_default().push(id);
+            }
+        }
+        m
+    }
+
+    /// Resolves a call to a workspace function. `path` is the call head's
+    /// segments (`["helper"]`, `["bytes", "u32_le_at"]`); `method` marks
+    /// `.name(…)` receiver calls. Ambiguity resolves to `None` — the
+    /// analysis under-approximates rather than guessing.
+    pub fn resolve(
+        &self,
+        file: usize,
+        scope: &FileScope,
+        path: &[String],
+        method: bool,
+    ) -> Option<FnId> {
+        if path.is_empty() {
+            return None;
+        }
+        if method {
+            let name = path.last()?;
+            let cands: Vec<FnId> = self
+                .by_name
+                .get(name)
+                .map(|v| v.iter().copied().filter(|&id| self.fns[id].self_ty.is_some()).collect())
+                .unwrap_or_default();
+            let local: Vec<FnId> =
+                cands.iter().copied().filter(|&id| self.fns[id].file == file).collect();
+            return match (local.as_slice(), cands.as_slice()) {
+                ([one], _) => Some(*one),
+                (_, [one]) if !STD_COMMON_METHODS.contains(&name.as_str()) => Some(*one),
+                _ => None,
+            };
+        }
+        if path.len() == 1 {
+            let name = &path[0];
+            // Same-file free function first, then `use` aliases, then a
+            // unique same-crate free function.
+            let cands = self.by_name.get(name).cloned().unwrap_or_default();
+            let local: Vec<FnId> = cands
+                .iter()
+                .copied()
+                .filter(|&id| self.fns[id].file == file && self.fns[id].self_ty.is_none())
+                .collect();
+            if let [one] = local.as_slice() {
+                return Some(*one);
+            }
+            if let Some(full) = self.file_uses.get(file).and_then(|u| u.aliases.get(name)) {
+                return self.resolve_full(full);
+            }
+            let in_crate: Vec<FnId> = cands
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    self.fns[id].crate_name == scope.crate_name && self.fns[id].self_ty.is_none()
+                })
+                .collect();
+            if let [one] = in_crate.as_slice() {
+                return Some(*one);
+            }
+            return None;
+        }
+        // Multi-segment path: expand the head.
+        let head = &path[0];
+        let rest = &path[1..];
+        if head == "crate" || head == "self" || head == "super" {
+            let mut full = vec![lib_name(&scope.crate_name)];
+            full.extend(rest.iter().cloned());
+            return self.resolve_full(&full);
+        }
+        if let Some(alias) = self.file_uses.get(file).and_then(|u| u.aliases.get(head)) {
+            let mut full = alias.clone();
+            full.extend(rest.iter().cloned());
+            return self.resolve_full(&full);
+        }
+        if crate_of_lib(head).is_some() {
+            return self.resolve_full(path);
+        }
+        // `Type::method` or `module::fn` within the current crate.
+        if path.len() == 2 {
+            let name = &path[1];
+            if let Some(cands) = self.by_type_method.get(&(head.clone(), name.clone())) {
+                let local: Vec<FnId> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.fns[id].crate_name == scope.crate_name)
+                    .collect();
+                if let [one] = local.as_slice() {
+                    return Some(*one);
+                }
+                if let [one] = cands.as_slice() {
+                    return Some(*one);
+                }
+            }
+            let cands = self.by_name.get(name).cloned().unwrap_or_default();
+            let in_mod: Vec<FnId> = cands
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let f = &self.fns[id];
+                    f.crate_name == scope.crate_name
+                        && f.self_ty.is_none()
+                        && f.module.last() == Some(head)
+                })
+                .collect();
+            if let [one] = in_mod.as_slice() {
+                return Some(*one);
+            }
+        }
+        None
+    }
+
+    /// Resolves a fully-qualified path whose head is a workspace lib name.
+    fn resolve_full(&self, segs: &[String]) -> Option<FnId> {
+        let crate_name = crate_of_lib(segs.first()?)?;
+        let name = segs.last()?;
+        let middle = &segs[1..segs.len() - 1];
+        let cands = self.by_name.get(name)?;
+        let matches: Vec<FnId> = cands
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let f = &self.fns[id];
+                if f.crate_name != crate_name {
+                    return false;
+                }
+                if middle.is_empty() {
+                    // Crate-level path: free fns and re-exported items.
+                    return true;
+                }
+                let tail = middle.last().map(String::as_str).unwrap_or("");
+                let as_type = f.self_ty.as_deref() == Some(tail);
+                let as_module =
+                    f.self_ty.is_none() && f.module.last().map(String::as_str) == Some(tail);
+                as_type || as_module
+            })
+            .collect();
+        match matches.as_slice() {
+            [one] => Some(*one),
+            _ => None,
+        }
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Resolved workspace target, when resolution succeeded.
+    pub target: Option<FnId>,
+    /// The call head's final name.
+    pub name: String,
+    /// Token index of the name token.
+    pub tok: usize,
+    /// Token ranges of the top-level arguments (excluding parens/commas).
+    pub args: Vec<(usize, usize)>,
+    /// Whether this is a `.name(…)` method call.
+    pub method: bool,
+}
+
+/// Extracts calls (free, path-qualified, method, turbofish) from a body
+/// token range. Macros (`name!(…)`) are not calls.
+pub fn find_calls(
+    toks: &[Tok],
+    range: (usize, usize),
+    file: usize,
+    scope: &FileScope,
+    model: &Model,
+) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut i = range.0;
+    while i < range.1 {
+        if toks[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = toks[i].text.clone();
+        if NON_CALL_KEYWORDS.contains(&name.as_str()) {
+            i += 1;
+            continue;
+        }
+        // Optional turbofish between the name and the paren.
+        let mut j = i + 1;
+        if is_punct(toks, j, ':') && is_punct(toks, j + 1, ':') && is_punct(toks, j + 2, '<') {
+            let mut depth = 1i32;
+            j += 3;
+            while j < range.1 && depth > 0 {
+                match toks[j].kind {
+                    TokKind::Punct('<') => depth += 1,
+                    TokKind::Punct('>') => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if !is_punct(toks, j, '(') {
+            i += 1;
+            continue;
+        }
+        // `name!(…)` macros are not calls.
+        if is_punct(toks, i + 1, '!') {
+            i += 1;
+            continue;
+        }
+        let method = is_punct(toks, i.wrapping_sub(1), '.');
+        // Walk the leading `seg::`* path (free calls only).
+        let mut path = vec![name.clone()];
+        if !method {
+            let mut k = i;
+            while k >= 2
+                && is_punct(toks, k - 1, ':')
+                && is_punct(toks, k - 2, ':')
+                && k >= 3
+                && toks[k - 3].kind == TokKind::Ident
+            {
+                path.insert(0, toks[k - 3].text.clone());
+                k -= 3;
+            }
+        }
+        // Argument ranges: split the balanced paren region on top-level commas.
+        let mut args = Vec::new();
+        let mut depth = 1i32;
+        let mut k = j + 1;
+        let mut arg_start = k;
+        while k < range.1 && depth > 0 {
+            match toks[k].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 && k > arg_start {
+                        args.push((arg_start, k));
+                    }
+                }
+                TokKind::Punct(',') if depth == 1 => {
+                    if k > arg_start {
+                        args.push((arg_start, k));
+                    }
+                    arg_start = k + 1;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let target = model.resolve(file, scope, &path, method);
+        out.push(CallSite { target, name, tok: i, args, method });
+        i += 1;
+    }
+    out
+}
+
+fn is_punct(toks: &[Tok], i: usize, c: char) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokKind::Punct(c))
+}
+
+fn is_ident(toks: &[Tok], i: usize, name: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokKind::Ident && t.text == name)
+}
+
+/// Module path a file contributes (`crates/ds/src/bytes.rs` → `["bytes"]`).
+fn base_module(path: &str) -> Vec<String> {
+    let segs: Vec<&str> = path.split('/').collect();
+    let src_at = segs.iter().position(|s| *s == "src");
+    let Some(src_at) = src_at else { return Vec::new() };
+    let mut out = Vec::new();
+    for s in &segs[src_at + 1..] {
+        let stem = s.trim_end_matches(".rs");
+        if stem == "lib" || stem == "mod" || stem == "main" || stem.is_empty() {
+            continue;
+        }
+        out.push(stem.to_string());
+    }
+    out
+}
+
+/// Parses one file's items into `fns` and `uses`.
+fn parse_file(
+    file: usize,
+    scope: &FileScope,
+    scanned: &Scanned,
+    test_lines: &[bool],
+    fns: &mut Vec<FnItem>,
+    uses: &mut FileUses,
+) {
+    let toks = &scanned.toks;
+    let base = base_module(&scope.path);
+    // (name-or-type, open depth, is_impl)
+    let mut mods: Vec<(String, i32)> = Vec::new();
+    let mut impls: Vec<(String, i32)> = Vec::new();
+    let mut depth = 0i32;
+    let mut pending_pub = false;
+    let mut pending_must_use = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                pending_pub = false;
+                pending_must_use = false;
+                i += 1;
+            }
+            TokKind::Punct('}') => {
+                depth -= 1;
+                mods.retain(|(_, d)| *d <= depth);
+                impls.retain(|(_, d)| *d <= depth);
+                i += 1;
+            }
+            TokKind::Punct(';') | TokKind::Punct('=') => {
+                pending_pub = false;
+                pending_must_use = false;
+                i += 1;
+            }
+            TokKind::Punct('#') if is_punct(toks, i + 1, '[') => {
+                let mut d = 1i32;
+                let mut j = i + 2;
+                while j < toks.len() && d > 0 {
+                    match toks[j].kind {
+                        TokKind::Punct('[') => d += 1,
+                        TokKind::Punct(']') => d -= 1,
+                        TokKind::Ident if toks[j].text == "must_use" => pending_must_use = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            TokKind::Ident => {
+                match toks[i].text.as_str() {
+                    "pub" => {
+                        if is_punct(toks, i + 1, '(') {
+                            // pub(crate)/pub(super): restricted, not public API.
+                            let mut d = 1i32;
+                            let mut j = i + 2;
+                            while j < toks.len() && d > 0 {
+                                match toks[j].kind {
+                                    TokKind::Punct('(') => d += 1,
+                                    TokKind::Punct(')') => d -= 1,
+                                    _ => {}
+                                }
+                                j += 1;
+                            }
+                            i = j;
+                        } else {
+                            pending_pub = true;
+                            i += 1;
+                        }
+                    }
+                    "use" => {
+                        i = parse_use(toks, i + 1, uses);
+                        pending_pub = false;
+                        pending_must_use = false;
+                    }
+                    "macro_rules" => {
+                        // Skip `macro_rules! name { … }` wholesale: its body
+                        // is a token soup that would confuse item scanning.
+                        let mut j = i + 1;
+                        while j < toks.len() && !is_punct(toks, j, '{') {
+                            j += 1;
+                        }
+                        i = skip_balanced(toks, j, '{', '}');
+                        pending_pub = false;
+                        pending_must_use = false;
+                    }
+                    "mod" => {
+                        if let Some(name) = ident_text(toks, i + 1) {
+                            if is_punct(toks, i + 2, '{') {
+                                mods.push((name.to_string(), depth + 1));
+                                depth += 1;
+                                i += 3;
+                            } else {
+                                i += 2; // `mod name;`
+                            }
+                        } else {
+                            i += 1;
+                        }
+                        pending_pub = false;
+                        pending_must_use = false;
+                    }
+                    "impl" | "trait" => {
+                        // Find the block opener and the self type: for an
+                        // `impl Trait for Type`, the type after the last
+                        // non-HRTB `for`; otherwise the first ident after
+                        // the generics.
+                        let mut j = i + 1;
+                        if is_punct(toks, j, '<') {
+                            j = skip_balanced(toks, j, '<', '>');
+                        }
+                        let mut ty: Option<String> = ident_text(toks, j).map(str::to_string);
+                        let mut k = j;
+                        while k < toks.len() && !is_punct(toks, k, '{') && !is_punct(toks, k, ';') {
+                            if is_ident(toks, k, "for") && !is_punct(toks, k + 1, '<') {
+                                ty = ident_text(toks, k + 1).map(str::to_string);
+                            }
+                            if is_ident(toks, k, "where") {
+                                break;
+                            }
+                            k += 1;
+                        }
+                        while k < toks.len() && !is_punct(toks, k, '{') && !is_punct(toks, k, ';') {
+                            k += 1;
+                        }
+                        if is_punct(toks, k, '{') {
+                            if let Some(t) = ty {
+                                impls.push((t, depth + 1));
+                            }
+                            depth += 1;
+                            i = k + 1;
+                        } else {
+                            i = k + 1;
+                        }
+                        pending_pub = false;
+                        pending_must_use = false;
+                    }
+                    "fn" => {
+                        let (item, next) = parse_fn(
+                            toks,
+                            i,
+                            file,
+                            scope,
+                            &base,
+                            &mods,
+                            &impls,
+                            pending_pub,
+                            pending_must_use,
+                        );
+                        if let Some(item) = item {
+                            let in_test = scope.tests_dir
+                                || test_lines.get(item.line as usize).copied().unwrap_or(false);
+                            if !in_test {
+                                fns.push(item);
+                            }
+                        }
+                        i = next;
+                        pending_pub = false;
+                        pending_must_use = false;
+                    }
+                    _ => {
+                        i += 1;
+                    }
+                }
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Skips a balanced region starting at the `open` token at `i`; returns
+/// the index just past the matching `close`.
+fn skip_balanced(toks: &[Tok], i: usize, open: char, close: char) -> usize {
+    if !is_punct(toks, i, open) {
+        return i + 1;
+    }
+    let mut depth = 1i32;
+    let mut j = i + 1;
+    while j < toks.len() && depth > 0 {
+        match toks[j].kind {
+            TokKind::Punct(c) if c == open => depth += 1,
+            TokKind::Punct(c) if c == close => depth -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+fn ident_text(toks: &[Tok], i: usize) -> Option<&str> {
+    toks.get(i).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str())
+}
+
+/// Parses a `fn` item starting at the `fn` keyword. Returns the item (if
+/// it has a body) and the index to resume scanning from (past the body).
+#[allow(clippy::too_many_arguments)] // internal plumbing, one call site
+fn parse_fn(
+    toks: &[Tok],
+    fn_kw: usize,
+    file: usize,
+    scope: &FileScope,
+    base: &[String],
+    mods: &[(String, i32)],
+    impls: &[(String, i32)],
+    is_pub: bool,
+    must_use: bool,
+) -> (Option<FnItem>, usize) {
+    let Some(name) = ident_text(toks, fn_kw + 1) else { return (None, fn_kw + 1) };
+    let name = name.to_string();
+    let name_tok = &toks[fn_kw + 1];
+    let mut i = fn_kw + 2;
+    if is_punct(toks, i, '<') {
+        i = skip_balanced(toks, i, '<', '>');
+    }
+    if !is_punct(toks, i, '(') {
+        return (None, i);
+    }
+    // Parameter list: split on top-level commas inside the parens.
+    let mut params = Vec::new();
+    let mut depth = 1i32;
+    let mut j = i + 1;
+    let mut start = j;
+    while j < toks.len() && depth > 0 {
+        match toks[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 && j > start {
+                    push_param(toks, start, j, &mut params);
+                }
+            }
+            TokKind::Punct('<') => depth += 1,
+            TokKind::Punct('>') if !is_punct(toks, j.wrapping_sub(1), '-') => depth -= 1,
+            TokKind::Punct(',') if depth == 1 => {
+                if j > start {
+                    push_param(toks, start, j, &mut params);
+                }
+                start = j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    // Return type: tokens between `->` and the body/where-clause.
+    let mut ret = String::new();
+    let mut k = j;
+    if is_punct(toks, k, '-') && is_punct(toks, k + 1, '>') {
+        k += 2;
+        while k < toks.len()
+            && !is_punct(toks, k, '{')
+            && !is_punct(toks, k, ';')
+            && !is_ident(toks, k, "where")
+        {
+            if !ret.is_empty() {
+                ret.push(' ');
+            }
+            ret.push_str(&tok_text(&toks[k]));
+            k += 1;
+        }
+    }
+    while k < toks.len() && !is_punct(toks, k, '{') && !is_punct(toks, k, ';') {
+        k += 1;
+    }
+    if !is_punct(toks, k, '{') {
+        return (None, k + 1); // body-less (trait signature, extern decl)
+    }
+    let end = skip_balanced(toks, k, '{', '}');
+    let mut module = base.to_vec();
+    module.extend(mods.iter().map(|(m, _)| m.clone()));
+    let self_ty = impls.last().map(|(t, _)| t.clone());
+    let item = FnItem {
+        file,
+        crate_name: scope.crate_name.clone(),
+        module,
+        self_ty,
+        name,
+        is_pub,
+        must_use,
+        params,
+        ret,
+        line: name_tok.line,
+        col: name_tok.col,
+        body: (k, end),
+    };
+    (Some(item), end)
+}
+
+/// Parses one parameter range `name: Type` (skipping `self` receivers and
+/// leading `mut`); destructuring patterns record an unnamed param.
+fn push_param(toks: &[Tok], start: usize, end: usize, params: &mut Vec<Param>) {
+    let mut i = start;
+    while i < end
+        && (is_punct(toks, i, '&') || toks[i].kind == TokKind::Lifetime || is_ident(toks, i, "mut"))
+    {
+        i += 1;
+    }
+    if is_ident(toks, i, "self") {
+        return;
+    }
+    let name = match ident_text(toks, i) {
+        Some(n) if is_punct(toks, i + 1, ':') => n.to_string(),
+        _ => String::new(),
+    };
+    let ty_start = if name.is_empty() {
+        // Destructuring pattern: find the top-level `:`.
+        let mut d = 0i32;
+        let mut j = i;
+        while j < end {
+            match toks[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => d += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => d -= 1,
+                TokKind::Punct(':') if d == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        j + 1
+    } else {
+        i + 2
+    };
+    let mut ty = String::new();
+    for t in toks.iter().take(end).skip(ty_start) {
+        if !ty.is_empty() {
+            ty.push(' ');
+        }
+        ty.push_str(&tok_text(t));
+    }
+    params.push(Param { name, ty });
+}
+
+fn tok_text(t: &Tok) -> String {
+    match t.kind {
+        TokKind::Punct(c) => c.to_string(),
+        TokKind::Lifetime => "'_".to_string(),
+        _ => t.text.clone(),
+    }
+}
+
+/// Parses a `use` declaration starting just past the `use` keyword;
+/// returns the index past the terminating `;`.
+fn parse_use(toks: &[Tok], start: usize, uses: &mut FileUses) -> usize {
+    // Find the end first so malformed trees cannot run away.
+    let mut end = start;
+    let mut depth = 0i32;
+    while end < toks.len() {
+        match toks[end].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => depth -= 1,
+            TokKind::Punct(';') if depth <= 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    parse_use_tree(toks, start, end, &mut Vec::new(), uses);
+    end + 1
+}
+
+/// Recursively walks a use-tree region, recording `alias → path`.
+fn parse_use_tree(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    prefix: &mut Vec<String>,
+    uses: &mut FileUses,
+) {
+    let depth0 = prefix.len();
+    let mut i = start;
+    while i < end {
+        match &toks[i].kind {
+            TokKind::Ident => {
+                let seg = toks[i].text.clone();
+                if seg == "as" {
+                    // `path as alias`
+                    if let Some(alias) = ident_text(toks, i + 1) {
+                        uses.aliases.insert(alias.to_string(), prefix.clone());
+                    }
+                    i += 2;
+                    continue;
+                }
+                if is_punct(toks, i + 1, ':') && is_punct(toks, i + 2, ':') {
+                    if seg != "self" {
+                        prefix.push(seg);
+                    }
+                    i += 3;
+                    continue;
+                }
+                // Leaf segment.
+                if seg == "self" {
+                    if let Some(last) = prefix.last() {
+                        uses.aliases.insert(last.clone(), prefix.clone());
+                    }
+                } else if !is_ident(toks, i + 1, "as") {
+                    let mut full = prefix.clone();
+                    full.push(seg.clone());
+                    uses.aliases.insert(seg, full);
+                } else {
+                    // `leaf as alias`
+                    let mut full = prefix.clone();
+                    full.push(seg);
+                    if let Some(alias) = ident_text(toks, i + 2) {
+                        uses.aliases.insert(alias.to_string(), full);
+                    }
+                    i += 3;
+                    continue;
+                }
+                i += 1;
+            }
+            TokKind::Punct('{') => {
+                let close = skip_balanced(toks, i, '{', '}');
+                // Each comma-separated branch restarts from this prefix.
+                let saved = prefix.clone();
+                let mut j = i + 1;
+                let mut branch = j;
+                let mut d = 1i32;
+                while j < close {
+                    match toks[j].kind {
+                        TokKind::Punct('{') => d += 1,
+                        TokKind::Punct('}') => d -= 1,
+                        TokKind::Punct(',') if d == 1 => {
+                            let mut p = saved.clone();
+                            parse_use_tree(toks, branch, j, &mut p, uses);
+                            branch = j + 1;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let mut p = saved.clone();
+                parse_use_tree(toks, branch, close.saturating_sub(1), &mut p, uses);
+                *prefix = saved;
+                i = close;
+            }
+            TokKind::Punct(',') => {
+                prefix.truncate(depth0);
+                i += 1;
+            }
+            _ => {
+                i += 1; // `*` globs and stray punctuation are ignored
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::test_region_lines;
+    use crate::scanner::scan;
+
+    fn model_of(files: Vec<(&str, &str)>) -> (Model, Vec<(FileScope, Scanned)>) {
+        let scans: Vec<(FileScope, Scanned)> =
+            files.into_iter().map(|(p, s)| (FileScope::classify(p), scan(s))).collect();
+        let tests: Vec<Vec<bool>> = scans.iter().map(|(_, s)| test_region_lines(s)).collect();
+        let m = Model::build(&scans, &tests);
+        (m, scans)
+    }
+
+    #[test]
+    fn parses_fns_params_and_visibility() {
+        let src = "\
+pub fn api(v: &[u32], i: usize) -> u32 { v[i] }\n\
+fn helper(x: u64) {}\n\
+pub(crate) fn internal() {}\n\
+#[must_use]\npub fn scored() -> u32 { 1 }\n";
+        let (m, _) = model_of(vec![("crates/graph/src/x.rs", src)]);
+        assert_eq!(m.fns.len(), 4);
+        let api = &m.fns[0];
+        assert!(api.is_pub);
+        assert_eq!(api.params.len(), 2);
+        assert_eq!(api.params[0].name, "v");
+        assert_eq!(api.params[0].ty, "& [ u32 ]");
+        assert_eq!(api.ret, "u32");
+        assert_eq!(api.display(), "hep_graph::x::api");
+        assert!(!m.fns[1].is_pub && !m.fns[2].is_pub, "pub(crate) is not public");
+        assert!(m.fns[3].must_use && m.fns[3].is_pub);
+    }
+
+    #[test]
+    fn impl_methods_get_self_ty_and_self_is_skipped() {
+        let src = "\
+pub struct Csr { starts: Vec<u32> }\n\
+impl Csr {\n    pub fn neighbors(&self, v: usize) -> u32 { self.starts[v] }\n}\n\
+impl std::fmt::Display for Csr {\n    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }\n}\n";
+        let (m, _) = model_of(vec![("crates/graph/src/csr.rs", src)]);
+        let n = m.fns.iter().find(|f| f.name == "neighbors").expect("parsed");
+        assert_eq!(n.self_ty.as_deref(), Some("Csr"));
+        assert_eq!(n.params.len(), 1, "self receiver skipped: {:?}", n.params);
+        assert_eq!(n.params[0].name, "v");
+        let fmt = m.fns.iter().find(|f| f.name == "fmt").expect("trait impl parsed");
+        assert_eq!(fmt.self_ty.as_deref(), Some("Csr"), "impl Trait for Type binds to Type");
+    }
+
+    #[test]
+    fn use_aliases_and_resolution() {
+        let ds = "pub fn u32_le_at(b: &[u8], off: usize) -> u32 { 0 }";
+        let graph = "\
+use hep_ds::bytes::u32_le_at;\nuse hep_ds::bytes;\n\
+pub fn f(b: &[u8]) -> u32 { u32_le_at(b, 0) + bytes::u32_le_at(b, 4) }\n\
+fn local() {}\npub fn g() { local(); }\n";
+        let (m, scans) =
+            model_of(vec![("crates/ds/src/bytes.rs", ds), ("crates/graph/src/binfile.rs", graph)]);
+        let scope = &scans[1].0;
+        let direct = m.resolve(1, scope, &["u32_le_at".into()], false);
+        assert_eq!(direct.map(|id| m.fns[id].display()), Some("hep_ds::bytes::u32_le_at".into()));
+        let qualified = m.resolve(1, scope, &["bytes".into(), "u32_le_at".into()], false);
+        assert_eq!(qualified, direct);
+        let full =
+            m.resolve(1, scope, &["hep_ds".into(), "bytes".into(), "u32_le_at".into()], false);
+        assert_eq!(full, direct);
+        let local = m.resolve(1, scope, &["local".into()], false);
+        assert_eq!(local.map(|id| m.fns[id].name.clone()), Some("local".into()));
+    }
+
+    #[test]
+    fn method_resolution_prefers_same_file_and_requires_uniqueness() {
+        let a = "pub struct A;\nimpl A { pub fn probe(&self) {} }\nfn f(a: &A) { a.probe(); }\n";
+        let b = "pub struct B;\nimpl B { pub fn probe(&self) {} }\n";
+        let (m, scans) = model_of(vec![("crates/core/src/a.rs", a), ("crates/graph/src/b.rs", b)]);
+        // From file 0 the same-file candidate wins even though the name is
+        // ambiguous workspace-wide.
+        let r = m.resolve(0, &scans[0].0, &["probe".into()], true);
+        assert_eq!(r.map(|id| m.fns[id].file), Some(0));
+        // From an unrelated file the ambiguity resolves to None.
+        let (m2, scans2) = model_of(vec![
+            ("crates/core/src/a.rs", a),
+            ("crates/graph/src/b.rs", b),
+            ("crates/metrics/src/c.rs", "fn g() {}"),
+        ]);
+        assert_eq!(m2.resolve(2, &scans2[2].0, &["probe".into()], true), None);
+    }
+
+    #[test]
+    fn call_extraction_handles_turbofish_and_macros() {
+        let src =
+            "fn f() { g::<u32>(1, 2); h(); println!(\"x\"); v.push(3); }\nfn g() {}\nfn h() {}\n";
+        let (m, scans) = model_of(vec![("crates/core/src/x.rs", src)]);
+        let f = &m.fns[0];
+        let calls = find_calls(&scans[0].1.toks, f.body, 0, &scans[0].0, &m);
+        let names: Vec<&str> = calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["g", "h", "push"], "macro excluded, turbofish call kept");
+        assert_eq!(calls[0].args.len(), 2);
+        assert!(calls[2].method);
+    }
+
+    #[test]
+    fn test_region_fns_are_excluded() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let (m, _) = model_of(vec![("crates/core/src/x.rs", src)]);
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "lib");
+    }
+
+    #[test]
+    fn nested_mods_extend_module_path() {
+        let src = "mod inner {\n    pub fn deep() {}\n}\npub fn top() {}\n";
+        let (m, _) = model_of(vec![("crates/ds/src/outer.rs", src)]);
+        let deep = m.fns.iter().find(|f| f.name == "deep").expect("parsed");
+        assert_eq!(deep.module, vec!["outer".to_string(), "inner".to_string()]);
+        let top = m.fns.iter().find(|f| f.name == "top").expect("parsed");
+        assert_eq!(top.module, vec!["outer".to_string()]);
+    }
+}

@@ -21,7 +21,8 @@ pub enum TokKind {
     Str,
     /// Character literal.
     Char,
-    /// Numeric literal.
+    /// Numeric literal; `text` holds the literal's source spelling so
+    /// rules can tell floats (`1.5`, `2e3`, `1f64`) from integers.
     Num,
     /// Lifetime (`'a`).
     Lifetime,
@@ -32,13 +33,31 @@ pub enum TokKind {
 pub struct Tok {
     /// Token class.
     pub kind: TokKind,
-    /// Identifier name or string-literal content; empty for punctuation
-    /// (the character lives in the kind), numbers and lifetimes.
+    /// Identifier name (raw `r#name` identifiers lex as their bare
+    /// `name`), string-literal content, or numeric literal spelling;
+    /// empty for punctuation (the character lives in the kind) and
+    /// lifetimes.
     pub text: String,
     /// 1-based source line.
     pub line: u32,
     /// 1-based source column (in characters).
     pub col: u32,
+}
+
+impl Tok {
+    /// Whether this token is a floating-point numeric literal (`1.5`,
+    /// `2e-3`, `1f64`). Hex literals (`0xE5`) are integers even though
+    /// they can contain an `e`.
+    pub fn is_float(&self) -> bool {
+        if self.kind != TokKind::Num {
+            return false;
+        }
+        let t = self.text.as_str();
+        if t.starts_with("0x") || t.starts_with("0X") {
+            return false;
+        }
+        t.contains('.') || t.ends_with("f32") || t.ends_with("f64") || t.contains(['e', 'E'])
+    }
 }
 
 /// One comment (line or block) with its starting position.
@@ -214,6 +233,23 @@ pub fn scan(src: &str) -> Scanned {
                     push_tok(&mut out, TokKind::Str, content, line, col);
                     continue;
                 }
+                // `r#ident` raw identifier: one Ident token carrying the
+                // bare name, not `r` + `#` + `ident` (which would confuse
+                // the attribute detector and the item parser).
+                if name == "r" && next == Some('#') && cur.peek(1).is_some_and(is_ident_start) {
+                    cur.bump(); // '#'
+                    let mut raw_name = String::new();
+                    while let Some(c) = cur.peek(0) {
+                        if is_ident_continue(c) {
+                            raw_name.push(c);
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    push_tok(&mut out, TokKind::Ident, raw_name, line, col);
+                    continue;
+                }
             }
             push_tok(&mut out, TokKind::Ident, name, line, col);
             continue;
@@ -282,18 +318,20 @@ pub fn scan(src: &str) -> Scanned {
         // Number.
         if c.is_ascii_digit() {
             let mut prev = ' ';
+            let mut text = String::new();
             while let Some(c) = cur.peek(0) {
                 let take = is_ident_continue(c)
                     || (c == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()))
                     || ((c == '+' || c == '-') && (prev == 'e' || prev == 'E'));
                 if take {
                     prev = c;
+                    text.push(c);
                     cur.bump();
                 } else {
                     break;
                 }
             }
-            push_tok(&mut out, TokKind::Num, String::new(), line, col);
+            push_tok(&mut out, TokKind::Num, text, line, col);
             continue;
         }
         // Punctuation: one char per token.
@@ -449,5 +487,55 @@ mod tests {
         let s = scan("/* outer /* inner */ still comment */ let x = 1;");
         assert_eq!(idents(&s), vec!["let", "x"]);
         assert_eq!(s.comments.len(), 1);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_one_token() {
+        let s = scan("fn r#match(r#type: u32) -> u32 { r#type }");
+        assert_eq!(idents(&s), vec!["fn", "match", "type", "u32", "u32", "type"]);
+        // No stray `#` puncts from the raw prefix, and the line is not an
+        // attribute line.
+        assert_eq!(s.toks.iter().filter(|t| t.kind == TokKind::Punct('#')).count(), 0);
+        assert!(!s.is_attr_line(1));
+        // `r` alone, and `r` followed by non-ident, still lex normally.
+        let plain = scan("let r = 1; let x = r # 2;");
+        assert!(idents(&plain).contains(&"r"));
+    }
+
+    #[test]
+    fn raw_strings_still_win_over_raw_identifiers() {
+        let s = scan(r####"let a = r#"raw"#; let b = r#fn;"####);
+        let strs: Vec<&str> =
+            s.toks.iter().filter(|t| t.kind == TokKind::Str).map(|t| t.text.as_str()).collect();
+        assert_eq!(strs, vec!["raw"]);
+        assert!(idents(&s).contains(&"fn"), "r#fn lexes as ident `fn`: {:?}", idents(&s));
+    }
+
+    #[test]
+    fn turbofish_lexes_cleanly() {
+        let s = scan("let v = xs.iter().collect::<Vec<u32>>(); f::<'a, u8>(0u8);");
+        // `::<` is `:` `:` `<` — three puncts, no mis-lexed char literal
+        // from the `'a` lifetime inside the turbofish.
+        assert_eq!(s.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 0);
+        assert_eq!(s.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 1);
+        let colons = s.toks.iter().filter(|t| t.kind == TokKind::Punct(':')).count();
+        assert_eq!(colons, 4);
+        assert!(idents(&s).contains(&"collect"));
+        assert!(idents(&s).contains(&"f"));
+    }
+
+    #[test]
+    fn numeric_literal_text_distinguishes_floats() {
+        let s = scan("let a = 1.5; let b = 2e-3; let c = 10; let d = 0xE5; let e = 1f64;");
+        let nums: Vec<(&str, bool)> = s
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| (t.text.as_str(), t.is_float()))
+            .collect();
+        assert_eq!(
+            nums,
+            vec![("1.5", true), ("2e-3", true), ("10", false), ("0xE5", false), ("1f64", true)]
+        );
     }
 }

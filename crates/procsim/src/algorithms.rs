@@ -73,6 +73,7 @@ pub fn pagerank(dg: &DistributedGraph, iterations: u32, cost: &ClusterCost) -> (
             ranges.len(),
             |i| {
                 let (a, b) = ranges[i];
+                debug_assert!(a <= b && b <= rank_ref.len(), "chunk ranges partition 0..n");
                 let mut s = 0.0f64;
                 for (v, &r) in (a..b).zip(rank_ref[a..b].iter()) {
                     if dg.csr.degree(v as u32) == 0 {
@@ -82,6 +83,7 @@ pub fn pagerank(dg: &DistributedGraph, iterations: u32, cost: &ClusterCost) -> (
                 s
             },
             0.0f64,
+            // hep-lint: allow(HL013) -- par_reduce folds the per-chunk sums in task order on the calling thread: a fixed summation tree at any thread count
             |acc, s| acc + s,
         );
         let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
@@ -113,6 +115,7 @@ pub fn bfs_single(
     cost: &ClusterCost,
 ) -> (Vec<u32>, RunCost) {
     let n = dg.num_vertices() as usize;
+    debug_assert!(seed < dg.num_vertices(), "seed vertex out of range");
     let mut dist = vec![u32::MAX; n];
     dist[seed as usize] = 0;
     let mut frontier = vec![seed];

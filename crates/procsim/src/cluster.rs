@@ -68,6 +68,7 @@ impl DistributedGraph {
 
     /// Replica count of `v` (0 for isolated vertices).
     pub fn replica_count(&self, v: VertexId) -> u32 {
+        debug_assert!((v as usize) < self.replicas.len(), "vertex id {v} out of range");
         self.replicas[v as usize].len() as u32
     }
 
